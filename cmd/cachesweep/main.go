@@ -1,0 +1,173 @@
+// Command cachesweep runs a cartesian sweep of cache configurations
+// over a workload (or trace file) and emits one CSV row per point —
+// the generic tool behind "plot metric X against parameter Y" studies
+// that go beyond the paper's fixed figures.
+//
+// Usage:
+//
+//	cachesweep -workload ccom -sizes 1024,8192,65536 -lines 16,32 \
+//	    -assocs 1,2 -misses fow,wv > sweep.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"cachewrite/internal/cache"
+	"cachewrite/internal/core"
+	"cachewrite/internal/trace"
+	"cachewrite/internal/workload"
+)
+
+func main() {
+	var (
+		wl        = flag.String("workload", "", "workload name")
+		traceFile = flag.String("trace", "", "trace file instead of a workload")
+		scale     = flag.Int("scale", 1, "workload scale factor")
+		sizes     = flag.String("sizes", "1024,2048,4096,8192,16384,32768,65536,131072", "cache sizes in bytes")
+		lines     = flag.String("lines", "16", "line sizes in bytes")
+		assocs    = flag.String("assocs", "1", "associativities")
+		hits      = flag.String("hits", "wb", "write-hit policies (wt,wb)")
+		misses    = flag.String("misses", "fow,wv,wa,wi", "write-miss policies (fow,wv,wa,wi)")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	var err error
+	switch {
+	case *traceFile != "":
+		f, err2 := os.Open(*traceFile)
+		if err2 != nil {
+			fail(err2)
+		}
+		tr, err = trace.ReadAuto(f)
+		f.Close()
+	case *wl != "":
+		tr, err = workload.Generate(*wl, *scale)
+	default:
+		fmt.Fprintln(os.Stderr, "cachesweep: need -workload or -trace")
+		os.Exit(2)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	cfgs, err := buildSweep(*sizes, *lines, *assocs, *hits, *misses)
+	if err != nil {
+		fail(err)
+	}
+	if err := runSweep(os.Stdout, tr, cfgs); err != nil {
+		fail(err)
+	}
+}
+
+// buildSweep parses the comma-separated axis lists into the cartesian
+// set of valid configurations (invalid combinations are skipped).
+func buildSweep(sizes, lines, assocs, hits, misses string) ([]cache.Config, error) {
+	sizeVals, err := parseInts(sizes)
+	if err != nil {
+		return nil, fmt.Errorf("sizes: %w", err)
+	}
+	lineVals, err := parseInts(lines)
+	if err != nil {
+		return nil, fmt.Errorf("lines: %w", err)
+	}
+	assocVals, err := parseInts(assocs)
+	if err != nil {
+		return nil, fmt.Errorf("assocs: %w", err)
+	}
+	var hitVals []cache.WriteHitPolicy
+	for _, s := range strings.Split(hits, ",") {
+		p, err := core.ParseWriteHit(strings.TrimSpace(s))
+		if err != nil {
+			return nil, err
+		}
+		hitVals = append(hitVals, p)
+	}
+	var missVals []cache.WriteMissPolicy
+	for _, s := range strings.Split(misses, ",") {
+		p, err := core.ParseWriteMiss(strings.TrimSpace(s))
+		if err != nil {
+			return nil, err
+		}
+		missVals = append(missVals, p)
+	}
+
+	var cfgs []cache.Config
+	for _, size := range sizeVals {
+		for _, line := range lineVals {
+			for _, assoc := range assocVals {
+				for _, hit := range hitVals {
+					for _, miss := range missVals {
+						cfg := cache.Config{Size: size, LineSize: line, Assoc: assoc,
+							WriteHit: hit, WriteMiss: miss}
+						if cfg.Validate() == nil {
+							cfgs = append(cfgs, cfg)
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("cachesweep: no valid configurations in the sweep")
+	}
+	return cfgs, nil
+}
+
+// runSweep simulates every configuration and writes the CSV.
+func runSweep(w io.Writer, tr *trace.Trace, cfgs []cache.Config) error {
+	cw := csv.NewWriter(w)
+	header := []string{"size", "line", "assoc", "write_hit", "write_miss",
+		"miss_rate", "write_miss_pct", "writes_to_dirty_pct",
+		"backside_tx_per_instr", "backside_bytes_per_instr"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, cfg := range cfgs {
+		c, err := cache.New(cfg)
+		if err != nil {
+			return err
+		}
+		c.AccessTrace(tr)
+		c.Flush()
+		s := c.Stats()
+		inst := float64(s.Instructions)
+		row := []string{
+			strconv.Itoa(cfg.Size), strconv.Itoa(cfg.LineSize), strconv.Itoa(cfg.Assoc),
+			cfg.WriteHit.String(), cfg.WriteMiss.String(),
+			fmt.Sprintf("%.6f", s.MissRate()),
+			fmt.Sprintf("%.4f", 100*s.WriteMissFraction()),
+			fmt.Sprintf("%.4f", 100*s.WritesToDirtyFraction()),
+			fmt.Sprintf("%.6f", float64(s.BacksideTransactions())/inst),
+			fmt.Sprintf("%.6f", float64(s.BacksideBytes(false))/inst),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cachesweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"testing"
+
+	"cachewrite/internal/cache"
+	"cachewrite/internal/trace"
+)
+
+func TestBuildSweepCartesian(t *testing.T) {
+	cfgs, err := buildSweep("1024,8192", "16,32", "1,2", "wb", "fow,wv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 sizes x 2 lines x 2 assocs x 1 hit x 2 misses = 16, all valid.
+	if len(cfgs) != 16 {
+		t.Fatalf("sweep has %d configs, want 16", len(cfgs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cfgs {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("invalid config in sweep: %v", err)
+		}
+		seen[c.String()] = true
+	}
+	if len(seen) != 16 {
+		t.Error("duplicate configurations in sweep")
+	}
+}
+
+func TestBuildSweepSkipsInvalid(t *testing.T) {
+	// 64B cache with assoc 8 at 16B lines is invalid (only 4 lines) and
+	// must be skipped, not fatal.
+	cfgs, err := buildSweep("64,1024", "16", "8", "wb", "fow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 1 || cfgs[0].Size != 1024 {
+		t.Fatalf("sweep = %+v", cfgs)
+	}
+}
+
+func TestBuildSweepErrors(t *testing.T) {
+	cases := [][5]string{
+		{"abc", "16", "1", "wb", "fow"},
+		{"1024", "x", "1", "wb", "fow"},
+		{"1024", "16", "?", "wb", "fow"},
+		{"1024", "16", "1", "nope", "fow"},
+		{"1024", "16", "1", "wb", "nope"},
+		{"64", "16", "8", "wb", "fow"}, // nothing valid
+	}
+	for i, c := range cases {
+		if _, err := buildSweep(c[0], c[1], c[2], c[3], c[4]); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestBuildSweepPolicyParsing(t *testing.T) {
+	cfgs, err := buildSweep("1024", "16", "1", "wt,wb", "fow,wv,wa,wi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 8 {
+		t.Fatalf("got %d configs, want 8", len(cfgs))
+	}
+	hasWI := false
+	for _, c := range cfgs {
+		if c.WriteMiss == cache.WriteInvalidate {
+			hasWI = true
+		}
+	}
+	if !hasWI {
+		t.Error("write-invalidate missing from sweep")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	v, err := parseInts(" 1, 2 ,3")
+	if err != nil || len(v) != 3 || v[1] != 2 {
+		t.Errorf("parseInts = %v, %v", v, err)
+	}
+	if _, err := parseInts("1,,2"); err == nil {
+		t.Error("empty element accepted")
+	}
+}
+
+func TestRunSweepCSV(t *testing.T) {
+	tr := &trace.Trace{Name: "t"}
+	for i := 0; i < 500; i++ {
+		k := trace.Read
+		if i%3 == 0 {
+			k = trace.Write
+		}
+		tr.Append(trace.Event{Addr: uint32(i*16) % 4096, Size: 4, Kind: k})
+	}
+	cfgs, err := buildSweep("1024", "16", "1", "wb", "fow,wv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runSweep(&buf, tr, cfgs); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 { // header + 2 configs
+		t.Fatalf("%d rows", len(records))
+	}
+	if records[0][0] != "size" || records[1][4] != "fetch-on-write" {
+		t.Errorf("rows: %v", records[:2])
+	}
+}

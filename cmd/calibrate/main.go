@@ -1,0 +1,43 @@
+// Command calibrate prints, for each benchmark, the trace
+// characteristics and the key cache metrics at the paper's standard
+// 8KB/16B direct-mapped write-back geometry. It is the tool used to
+// tune the workload stand-ins against the paper's Table 1 and Figs
+// 1-2/10.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cachewrite/internal/cache"
+	"cachewrite/internal/workload"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "workload scale factor")
+	flag.Parse()
+
+	fmt.Printf("%-8s %12s %10s %10s %6s %7s %7s %9s %8s %8s\n",
+		"program", "instr", "reads", "writes", "r/w", "refs/i",
+		"dirty%", "missrate", "wm%miss", "gen")
+	for _, name := range workload.PaperOrder() {
+		start := time.Now()
+		t, err := workload.Generate(name, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calibrate:", err)
+			os.Exit(1)
+		}
+		s := t.Stats()
+		c := cache.MustNew(cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1,
+			WriteHit: cache.WriteBack, WriteMiss: cache.FetchOnWrite})
+		c.AccessTrace(t)
+		cs := c.Stats()
+		fmt.Printf("%-8s %12d %10d %10d %6.2f %7.2f %7.1f %9.4f %8.1f %8s\n",
+			name, s.Instructions, s.Reads, s.Writes, s.LoadStoreRatio(),
+			float64(s.Refs())/float64(s.Instructions),
+			100*cs.WritesToDirtyFraction(), cs.MissRate(),
+			100*cs.WriteMissFraction(), time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,119 @@
+// Command tracegen generates, inspects and converts memory reference
+// traces.
+//
+// Usage:
+//
+//	tracegen -workload linpack -o linpack.cwt          # generate binary
+//	tracegen -workload ccom -text -o ccom.txt          # generate text
+//	tracegen -stat linpack.cwt                         # summarize
+//	tracegen -convert ccom.txt -o ccom.cwt             # text <-> binary
+//	tracegen -list                                     # list workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cachewrite/internal/stats"
+	"cachewrite/internal/trace"
+	"cachewrite/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "", "workload to generate")
+		scale   = flag.Int("scale", 1, "workload scale factor")
+		out     = flag.String("o", "", "output file (default stdout)")
+		text    = flag.Bool("text", false, "write the text format instead of binary")
+		zip     = flag.Bool("z", false, "compress binary output (CWTZ/flate)")
+		stat    = flag.String("stat", "", "print statistics of a trace file")
+		convert = flag.String("convert", "", "convert a trace file to the other format")
+		list    = flag.Bool("list", false, "list available workloads")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, n := range workload.PaperOrder() {
+			w, _ := workload.Get(n)
+			fmt.Printf("%-8s %s\n", n, w.Description())
+		}
+	case *stat != "":
+		tr, err := readAny(*stat)
+		if err != nil {
+			fail(err)
+		}
+		printStats(tr)
+	case *convert != "":
+		tr, err := readAny(*convert)
+		if err != nil {
+			fail(err)
+		}
+		if err := writeOut(tr, *out, *text, *zip); err != nil {
+			fail(err)
+		}
+	case *wl != "":
+		tr, err := workload.Generate(*wl, *scale)
+		if err != nil {
+			fail(err)
+		}
+		if err := writeOut(tr, *out, *text, *zip); err != nil {
+			fail(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "tracegen: need -workload, -stat, -convert or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// readAny reads a trace in any supported format, sniffing the magic.
+func readAny(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadAuto(f)
+}
+
+func writeOut(tr *trace.Trace, path string, text, zip bool) error {
+	w := os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if text {
+		return trace.WriteText(w, tr)
+	}
+	if zip {
+		return trace.WriteBinaryCompressed(w, tr)
+	}
+	return trace.WriteBinary(w, tr)
+}
+
+func printStats(tr *trace.Trace) {
+	s := tr.Stats()
+	fmt.Printf("name          %s\n", tr.Name)
+	fmt.Printf("events        %s\n", stats.FmtCount(uint64(tr.Len())))
+	fmt.Printf("instructions  %s\n", stats.FmtCount(s.Instructions))
+	fmt.Printf("reads         %s (%s bytes)\n", stats.FmtCount(s.Reads), stats.FmtCount(s.ReadBytes))
+	fmt.Printf("writes        %s (%s bytes)\n", stats.FmtCount(s.Writes), stats.FmtCount(s.WriteBytes))
+	fmt.Printf("reads/write   %.2f\n", s.LoadStoreRatio())
+	fmt.Printf("refs/instr    %.3f\n", float64(s.Refs())/float64(s.Instructions))
+	if err := tr.Validate(); err != nil {
+		fmt.Printf("VALIDATION    %v\n", err)
+	} else {
+		fmt.Printf("validation    ok\n")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cachewrite/internal/trace"
+)
+
+func sample() *trace.Trace {
+	return &trace.Trace{Name: "sample", Events: []trace.Event{
+		{Addr: 0x100, Size: 4, Kind: trace.Read, Gap: 2},
+		{Addr: 0x108, Size: 8, Kind: trace.Write},
+	}}
+}
+
+func TestReadAnySniffsBinary(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.cwt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinary(f, sample()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := readAny(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "sample" || got.Len() != 2 {
+		t.Errorf("got %q with %d events", got.Name, got.Len())
+	}
+}
+
+func TestReadAnySniffsText(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteText(f, sample()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := readAny(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "sample" || got.Len() != 2 {
+		t.Errorf("got %q with %d events", got.Name, got.Len())
+	}
+}
+
+func TestReadAnyMissingFile(t *testing.T) {
+	if _, err := readAny(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing file read without error")
+	}
+}
+
+func TestWriteOutRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "out.cwt")
+	if err := writeOut(sample(), binPath, false, false); err != nil {
+		t.Fatal(err)
+	}
+	txtPath := filepath.Join(dir, "out.txt")
+	if err := writeOut(sample(), txtPath, true, false); err != nil {
+		t.Fatal(err)
+	}
+	zPath := filepath.Join(dir, "out.cwtz")
+	if err := writeOut(sample(), zPath, false, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{binPath, txtPath, zPath} {
+		got, err := readAny(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if got.Len() != 2 {
+			t.Errorf("%s: %d events", p, got.Len())
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Bursts visualizes the §5.2 open question: how bursty are writes and
+// dirty victims? It prints burst-length histograms for each benchmark
+// and the victim-buffer depth needed to ride out the worst window.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cachewrite/internal/burst"
+	"cachewrite/internal/cache"
+	"cachewrite/internal/textplot"
+	"cachewrite/internal/workload"
+)
+
+func main() {
+	cfg := cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1,
+		WriteHit: cache.WriteBack, WriteMiss: cache.FetchOnWrite}
+	for _, name := range workload.PaperOrder() {
+		t, err := workload.Generate(name, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wr, err := burst.AnalyzeWrites(t, 2, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vr, err := burst.AnalyzeVictims(t, cfg, 2, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(textplot.RenderHistogram(
+			fmt.Sprintf("%s — store burst lengths (max %d, peak/avg %.1fx)",
+				name, wr.MaxBurst, wr.PeakToAvg()),
+			burst.BucketLabels(), wr.Bursts[:], 40))
+		fmt.Println(textplot.RenderHistogram(
+			fmt.Sprintf("%s — dirty-victim burst lengths (buffer depth needed: %d)",
+				name, vr.MaxPending),
+			burst.BucketLabels(), vr.Bursts[:], 40))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,75 @@
+// Copyblock reproduces the paper's §4 block-copy argument: "given a
+// total bandwidth available for reads and writes, a fetch-on-write
+// strategy would have only two-thirds of the performance on large
+// block copies as a no-fetch-on-write policy since half of the items
+// fetched would be discarded."
+//
+// The example builds a block-copy reference stream (interleaved source
+// reads and destination writes, as memcpy generates), runs it under
+// fetch-on-write and write-validate, and derives the effective copy
+// bandwidth from the fetch traffic each policy needs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cachewrite/internal/cache"
+	"cachewrite/internal/trace"
+)
+
+const (
+	copyBytes = 1 << 20 // 1MB copy, far beyond any cache here
+	wordSize  = 8
+)
+
+func buildCopyTrace() *trace.Trace {
+	t := &trace.Trace{Name: "blockcopy"}
+	src := uint32(0x0010_0000)
+	dst := uint32(0x0800_0000)
+	for off := uint32(0); off < copyBytes; off += wordSize {
+		t.Append(trace.Event{Addr: src + off, Size: wordSize, Kind: trace.Read, Gap: 1})
+		t.Append(trace.Event{Addr: dst + off, Size: wordSize, Kind: trace.Write, Gap: 1})
+	}
+	return t
+}
+
+func main() {
+	t := buildCopyTrace()
+	base := cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1, WriteHit: cache.WriteBack}
+
+	fmt.Printf("copying %d KB through an %s cache\n\n", copyBytes>>10, base)
+	fmt.Printf("%-16s %12s %14s %14s %16s\n",
+		"policy", "fetch bytes", "wasted fetch", "bus bytes", "rel. bandwidth")
+
+	var fowBus uint64
+	for _, p := range []cache.WriteMissPolicy{cache.FetchOnWrite, cache.WriteValidate} {
+		cfg := base
+		cfg.WriteMiss = p
+		c, err := cache.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.AccessTrace(t)
+		c.Flush()
+		s := c.Stats()
+
+		// Useful traffic: the copy must read copyBytes and write back
+		// copyBytes. Anything more is wasted bus bandwidth.
+		busBytes := s.BacksideBytes(false) +
+			// flush write-backs move the remaining dirty destination data
+			s.FlushVictimDirtyBytes
+		wasted := int64(busBytes) - 2*copyBytes
+		if p == cache.FetchOnWrite {
+			fowBus = busBytes
+		}
+		rel := float64(fowBus) / float64(busBytes)
+		fmt.Printf("%-16s %12d %14d %14d %15.2fx\n",
+			p, s.FetchBytes, wasted, busBytes, rel)
+	}
+
+	fmt.Println("\nfetch-on-write fetches every destination line only to overwrite it,")
+	fmt.Println("so it moves ~3 bytes over the bus per byte copied; write-validate moves ~2.")
+	fmt.Println("That is the paper's 3:2 bandwidth advantage for no-fetch-on-write,")
+	fmt.Println("achieved without cache-line-allocate instructions or compiler support.")
+}

@@ -1,0 +1,3 @@
+module cachewrite
+
+go 1.22

@@ -1,0 +1,23 @@
+package burst_test
+
+import (
+	"fmt"
+
+	"cachewrite/internal/burst"
+	"cachewrite/internal/synth"
+)
+
+// Example measures the register-save pattern §3 worries about: long
+// back-to-back store bursts that overwhelm a write buffer.
+func Example() {
+	t := synth.RegisterSave(20, 30, 200) // 20 calls saving 30 registers
+	r, err := burst.AnalyzeWrites(t, 2, 64)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("max store burst: %d back-to-back stores\n", r.MaxBurst)
+	fmt.Printf("peak/average write bandwidth: %.1fx\n", r.PeakToAvg())
+	// Output:
+	// max store burst: 30 back-to-back stores
+	// peak/average write bandwidth: 7.2x
+}

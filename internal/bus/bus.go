@@ -1,0 +1,127 @@
+// Package bus models the port between the first-level cache and the
+// next level of the hierarchy. §5.2 opens by noting that transaction
+// counts are not enough: "when implementing actual systems, in order
+// to choose the width of the port from the cache to the next lower
+// level in the memory systems, information on the actual traffic in
+// bytes is more useful", and closes by asking what average write-back
+// bandwidth is needed relative to fetch bandwidth (the paper's answer:
+// about half, varying widely by benchmark).
+//
+// The model charges each transaction a fixed arbitration overhead plus
+// one cycle per port-width beats of data, separately for the fetch
+// (read) direction and the write direction, and reports per-direction
+// occupancy in cycles per instruction. Write-backs can be charged
+// whole lines or only dirty sub-blocks (the §5.2 sub-block dirty-bit
+// question).
+package bus
+
+import (
+	"fmt"
+
+	"cachewrite/internal/cache"
+)
+
+// Config describes the back-side port.
+type Config struct {
+	// WidthBytes is the port width (bytes transferred per cycle).
+	WidthBytes int
+	// OverheadCycles is the fixed per-transaction cost (arbitration,
+	// address transfer).
+	OverheadCycles int
+	// SubblockWriteback charges write-backs only their dirty bytes
+	// (requires sub-block dirty bits in the cache).
+	SubblockWriteback bool
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.WidthBytes <= 0 || c.WidthBytes&(c.WidthBytes-1) != 0 {
+		return fmt.Errorf("bus: width %d must be a positive power of two", c.WidthBytes)
+	}
+	if c.OverheadCycles < 0 {
+		return fmt.Errorf("bus: negative overhead %d", c.OverheadCycles)
+	}
+	return nil
+}
+
+// Occupancy is the port utilization breakdown.
+type Occupancy struct {
+	// FetchCycles is the read-direction occupancy (line fetches).
+	FetchCycles uint64
+	// WriteCycles is the write-direction occupancy (write-through words
+	// plus write-backs, including post-execution flush write-backs).
+	WriteCycles uint64
+	// Instructions normalizes the occupancies.
+	Instructions uint64
+}
+
+// FetchPerInstr returns read-direction cycles per instruction.
+func (o Occupancy) FetchPerInstr() float64 {
+	if o.Instructions == 0 {
+		return 0
+	}
+	return float64(o.FetchCycles) / float64(o.Instructions)
+}
+
+// WritePerInstr returns write-direction cycles per instruction.
+func (o Occupancy) WritePerInstr() float64 {
+	if o.Instructions == 0 {
+		return 0
+	}
+	return float64(o.WriteCycles) / float64(o.Instructions)
+}
+
+// WriteToFetchRatio returns the §5.2 design number: the write-direction
+// bandwidth requirement as a fraction of the fetch direction's.
+func (o Occupancy) WriteToFetchRatio() float64 {
+	if o.FetchCycles == 0 {
+		return 0
+	}
+	return float64(o.WriteCycles) / float64(o.FetchCycles)
+}
+
+// beats returns the cycles to move n bytes over the port.
+func (c Config) beats(n uint64) uint64 {
+	w := uint64(c.WidthBytes)
+	return (n + w - 1) / w
+}
+
+// txCycles returns the full cost of one transaction moving n bytes.
+func (c Config) txCycles(n uint64) uint64 {
+	return uint64(c.OverheadCycles) + c.beats(n)
+}
+
+// FromStats computes the port occupancy implied by a cache run. The
+// line size comes from the cache configuration; write-through word
+// sizes are averaged from the byte counters (exact when all words are
+// the same size, within one beat otherwise).
+func FromStats(cfg Config, cc cache.Config, s cache.Stats) (Occupancy, error) {
+	if err := cfg.Validate(); err != nil {
+		return Occupancy{}, err
+	}
+	if err := cc.Validate(); err != nil {
+		return Occupancy{}, err
+	}
+	var o Occupancy
+	o.Instructions = s.Instructions
+
+	o.FetchCycles = s.Fetches * cfg.txCycles(uint64(cc.LineSize))
+
+	// Write-through words: charge the exact byte total in beats plus
+	// per-transaction overheads.
+	if s.WriteThroughs > 0 {
+		o.WriteCycles += s.WriteThroughs*uint64(cfg.OverheadCycles) + cfg.beats(s.WriteThroughBytes)
+	}
+
+	// Write-backs, program execution plus flush.
+	wbs := s.Writebacks + s.FlushWritebacks
+	if wbs > 0 {
+		if cfg.SubblockWriteback {
+			dirty := s.WritebackBytesDirty + s.FlushVictimDirtyBytes
+			o.WriteCycles += wbs*uint64(cfg.OverheadCycles) + cfg.beats(dirty)
+		} else {
+			o.WriteCycles += wbs * cfg.txCycles(uint64(cc.LineSize))
+		}
+	}
+	return o, nil
+}

@@ -1,0 +1,117 @@
+package bus
+
+import (
+	"testing"
+
+	"cachewrite/internal/cache"
+)
+
+func cacheCfg() cache.Config {
+	return cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1,
+		WriteHit: cache.WriteBack, WriteMiss: cache.FetchOnWrite}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{WidthBytes: 8, OverheadCycles: 1}).Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{WidthBytes: 0},
+		{WidthBytes: -4},
+		{WidthBytes: 12},
+		{WidthBytes: 8, OverheadCycles: -1},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := FromStats(Config{}, cacheCfg(), cache.Stats{}); err == nil {
+		t.Error("FromStats accepted bad bus config")
+	}
+	if _, err := FromStats(Config{WidthBytes: 8}, cache.Config{}, cache.Stats{}); err == nil {
+		t.Error("FromStats accepted bad cache config")
+	}
+}
+
+func TestBeatsAndOverhead(t *testing.T) {
+	cfg := Config{WidthBytes: 8, OverheadCycles: 2}
+	// A 16B line fetch: 2 overhead + 2 beats = 4 cycles.
+	s := cache.Stats{Fetches: 3, Instructions: 100}
+	o, err := FromStats(cfg, cacheCfg(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.FetchCycles != 12 {
+		t.Errorf("fetch cycles = %d, want 12", o.FetchCycles)
+	}
+	if o.FetchPerInstr() != 0.12 {
+		t.Errorf("fetch/instr = %v", o.FetchPerInstr())
+	}
+}
+
+func TestWriteThroughWordCharging(t *testing.T) {
+	cfg := Config{WidthBytes: 8, OverheadCycles: 1}
+	// 10 words totalling 48 bytes: 10 overheads + 6 beats = 16 cycles.
+	s := cache.Stats{WriteThroughs: 10, WriteThroughBytes: 48, Instructions: 10}
+	o, err := FromStats(cfg, cacheCfg(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.WriteCycles != 16 {
+		t.Errorf("write cycles = %d, want 16", o.WriteCycles)
+	}
+}
+
+func TestSubblockWriteback(t *testing.T) {
+	s := cache.Stats{
+		Writebacks: 4, WritebackBytesFull: 64, WritebackBytesDirty: 20,
+		FlushWritebacks: 1, FlushVictimDirtyBytes: 4,
+		Instructions: 100,
+	}
+	full := Config{WidthBytes: 8, OverheadCycles: 1}
+	o1, err := FromStats(full, cacheCfg(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 write-backs x (1 overhead + 2 beats of 16B) = 15.
+	if o1.WriteCycles != 15 {
+		t.Errorf("full-line write cycles = %d, want 15", o1.WriteCycles)
+	}
+	sub := full
+	sub.SubblockWriteback = true
+	o2, err := FromStats(sub, cacheCfg(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 overheads + ceil(24/8)=3 beats = 8.
+	if o2.WriteCycles != 8 {
+		t.Errorf("sub-block write cycles = %d, want 8", o2.WriteCycles)
+	}
+	if o2.WriteCycles >= o1.WriteCycles {
+		t.Error("sub-block write-back did not reduce occupancy")
+	}
+}
+
+func TestRatios(t *testing.T) {
+	var o Occupancy
+	if o.FetchPerInstr() != 0 || o.WritePerInstr() != 0 || o.WriteToFetchRatio() != 0 {
+		t.Error("zero occupancy divides by zero")
+	}
+	o = Occupancy{FetchCycles: 100, WriteCycles: 50, Instructions: 1000}
+	if o.WriteToFetchRatio() != 0.5 {
+		t.Errorf("ratio = %v, want 0.5 (the paper's answer)", o.WriteToFetchRatio())
+	}
+}
+
+func TestOddByteTotalRoundsUp(t *testing.T) {
+	cfg := Config{WidthBytes: 16}
+	s := cache.Stats{WriteThroughs: 1, WriteThroughBytes: 17}
+	o, err := FromStats(cfg, cacheCfg(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.WriteCycles != 2 {
+		t.Errorf("write cycles = %d, want 2 (17B over a 16B port)", o.WriteCycles)
+	}
+}

@@ -1,0 +1,27 @@
+package bus_test
+
+import (
+	"fmt"
+
+	"cachewrite/internal/bus"
+	"cachewrite/internal/cache"
+	"cachewrite/internal/synth"
+)
+
+// Example sizes the back-side port for a copy workload: §5.2's
+// write-vs-fetch bandwidth question.
+func Example() {
+	t := synth.Copy(0x10000, 0x80000, 2000, 8)
+	cc := cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1,
+		WriteHit: cache.WriteBack, WriteMiss: cache.FetchOnWrite}
+	c := cache.MustNew(cc)
+	c.AccessTrace(t)
+	c.Flush()
+	o, err := bus.FromStats(bus.Config{WidthBytes: 8, OverheadCycles: 1}, cc, c.Stats())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("write/fetch bandwidth ratio: %.2f\n", o.WriteToFetchRatio())
+	// Output:
+	// write/fetch bandwidth ratio: 0.50
+}

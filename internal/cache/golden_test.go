@@ -1,0 +1,93 @@
+package cache
+
+import (
+	"testing"
+
+	"cachewrite/internal/trace"
+)
+
+// goldenTrace is a fixed LCG-driven mixed trace. The expected values in
+// TestGoldenRegression pin the simulator's exact behaviour on it; any
+// change to hit/miss/eviction semantics shows up as a diff here even if
+// all the behavioural unit tests still pass.
+func goldenTrace() *trace.Trace {
+	tr := &trace.Trace{Name: "golden"}
+	state := uint32(12345)
+	next := func() uint32 { state = state*1664525 + 1013904223; return state }
+	for i := 0; i < 20000; i++ {
+		r := next()
+		addr := (r % (1 << 16)) &^ 7
+		size := uint8(4)
+		if r&1 == 0 {
+			size = 8
+		}
+		k := trace.Read
+		if r%3 == 0 {
+			k = trace.Write
+		}
+		tr.Append(trace.Event{Addr: addr, Size: size, Gap: uint16(r % 7), Kind: k})
+	}
+	return tr
+}
+
+func TestGoldenRegression(t *testing.T) {
+	type golden struct {
+		cfg                                  Config
+		readMiss, wMiss, fetched, eliminated uint64
+		toDirty, fetches, wbs, flushWBs, wts uint64
+	}
+	cases := []golden{
+		{Config{Size: 8 << 10, LineSize: 16, Assoc: 1, WriteHit: WriteBack, WriteMiss: FetchOnWrite},
+			11657, 5936, 5936, 0, 315, 17593, 6290, 195, 0},
+		{Config{Size: 8 << 10, LineSize: 16, Assoc: 1, WriteHit: WriteBack, WriteMiss: WriteValidate},
+			11962, 5936, 0, 5936, 315, 11962, 6290, 195, 0},
+		{Config{Size: 8 << 10, LineSize: 16, Assoc: 1, WriteHit: WriteThrough, WriteMiss: WriteAround},
+			11668, 5980, 0, 5980, 0, 11668, 0, 0, 6800},
+		{Config{Size: 8 << 10, LineSize: 16, Assoc: 1, WriteHit: WriteThrough, WriteMiss: WriteInvalidate},
+			12140, 6207, 0, 6207, 0, 12140, 0, 0, 6800},
+		{Config{Size: 4 << 10, LineSize: 32, Assoc: 2, WriteHit: WriteBack, WriteMiss: WriteValidate},
+			12607, 6398, 0, 6398, 150, 12607, 6603, 47, 0},
+	}
+	tr := goldenTrace()
+	for _, g := range cases {
+		c := MustNew(g.cfg)
+		c.AccessTrace(tr)
+		c.Flush()
+		s := c.Stats()
+		if s.ReadMissEvents != g.readMiss || s.WriteMissEvents != g.wMiss ||
+			s.FetchedWriteMisses != g.fetched || s.EliminatedWriteMisses != g.eliminated ||
+			s.WritesToDirtyLines != g.toDirty || s.Fetches != g.fetches ||
+			s.Writebacks != g.wbs || s.FlushWritebacks != g.flushWBs ||
+			s.WriteThroughs != g.wts {
+			t.Errorf("%s drifted:\n got  rm=%d wm=%d f=%d el=%d td=%d fe=%d wb=%d fwb=%d wt=%d\n want rm=%d wm=%d f=%d el=%d td=%d fe=%d wb=%d fwb=%d wt=%d",
+				g.cfg,
+				s.ReadMissEvents, s.WriteMissEvents, s.FetchedWriteMisses, s.EliminatedWriteMisses,
+				s.WritesToDirtyLines, s.Fetches, s.Writebacks, s.FlushWritebacks, s.WriteThroughs,
+				g.readMiss, g.wMiss, g.fetched, g.eliminated,
+				g.toDirty, g.fetches, g.wbs, g.flushWBs, g.wts)
+		}
+	}
+}
+
+// TestGoldenCrossPolicyConsistency: on the fixed trace, policy-
+// independent quantities must agree across configurations sharing a
+// geometry: the tag-level write-miss opportunity count differs only
+// because resident contents differ, but total events are identical.
+func TestGoldenCrossPolicyConsistency(t *testing.T) {
+	tr := goldenTrace()
+	var refStats *Stats
+	for _, p := range WriteMissPolicies() {
+		c := MustNew(Config{Size: 8 << 10, LineSize: 16, Assoc: 1,
+			WriteHit: WriteBack, WriteMiss: p})
+		c.AccessTrace(tr)
+		s := c.Stats()
+		if refStats == nil {
+			refStats = &s
+			continue
+		}
+		if s.Reads != refStats.Reads || s.Writes != refStats.Writes ||
+			s.Instructions != refStats.Instructions {
+			t.Errorf("%s: event totals differ across policies", p)
+		}
+	}
+}

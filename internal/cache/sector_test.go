@@ -1,0 +1,109 @@
+package cache
+
+import "testing"
+
+func sectorCfg() Config {
+	return Config{Size: 8 << 10, LineSize: 16, Assoc: 1,
+		WriteHit: WriteBack, WriteMiss: FetchOnWrite,
+		ValidGranularity: 8, SectorFetch: true}
+}
+
+func TestSectorFetchValidation(t *testing.T) {
+	if err := sectorCfg().Validate(); err != nil {
+		t.Fatalf("good sector config rejected: %v", err)
+	}
+	bad := sectorCfg()
+	bad.ValidGranularity = 0 // per-byte
+	if bad.Validate() == nil {
+		t.Error("sector fetch with byte granularity accepted")
+	}
+}
+
+func TestSectorReadMissFetchesOneSector(t *testing.T) {
+	c := MustNew(sectorCfg())
+	c.Access(rd(0x100, 4))
+	s := c.Stats()
+	if s.Fetches != 1 || s.FetchBytes != 8 {
+		t.Errorf("fetches=%d bytes=%d, want 1/8 (one sector)", s.Fetches, s.FetchBytes)
+	}
+	st := c.Probe(0x100)
+	if st.Valid != 0x00ff {
+		t.Errorf("valid = %#x, want first sector", st.Valid)
+	}
+	// Reading inside the fetched sector hits.
+	c.Access(rd(0x104, 4))
+	if c.Stats().ReadMissEvents != 1 {
+		t.Error("read within fetched sector missed")
+	}
+	// Reading the other sector is a partial miss fetching 8 more bytes.
+	c.Access(rd(0x108, 8))
+	s = c.Stats()
+	if s.ReadMissEvents != 2 || s.PartialValidReadMisses != 1 {
+		t.Errorf("misses=%d partial=%d, want 2/1", s.ReadMissEvents, s.PartialValidReadMisses)
+	}
+	if s.FetchBytes != 16 {
+		t.Errorf("fetch bytes = %d, want 16", s.FetchBytes)
+	}
+}
+
+func TestSectorFetchOnWrite(t *testing.T) {
+	c := MustNew(sectorCfg())
+	c.Access(wr(0x200, 4))
+	s := c.Stats()
+	if s.FetchedWriteMisses != 1 || s.FetchBytes != 8 {
+		t.Errorf("fetched=%d bytes=%d, want 1/8", s.FetchedWriteMisses, s.FetchBytes)
+	}
+	st := c.Probe(0x200)
+	if st.Valid != 0x00ff || st.Dirty != 0x000f {
+		t.Errorf("valid=%#x dirty=%#x", st.Valid, st.Dirty)
+	}
+}
+
+func TestSectorUnalignedReadFetchesBothSectors(t *testing.T) {
+	// An 8B read at offset 4 touches both sectors of a 16B line.
+	c := MustNew(sectorCfg())
+	c.Access(rd(0x104, 8))
+	s := c.Stats()
+	if s.FetchBytes != 16 {
+		t.Errorf("fetch bytes = %d, want 16 (both sectors)", s.FetchBytes)
+	}
+}
+
+func TestSectorFetchLessTrafficMoreMisses(t *testing.T) {
+	// Sparse accesses: sector fetching moves fewer bytes but misses more
+	// often when spatial locality does appear.
+	tr := randomTrace(21, 5000)
+	full := MustNew(Config{Size: 1 << 10, LineSize: 64, Assoc: 1,
+		WriteHit: WriteBack, WriteMiss: FetchOnWrite})
+	sect := MustNew(Config{Size: 1 << 10, LineSize: 64, Assoc: 1,
+		WriteHit: WriteBack, WriteMiss: FetchOnWrite,
+		ValidGranularity: 8, SectorFetch: true})
+	full.AccessTrace(tr)
+	sect.AccessTrace(tr)
+	if sect.Stats().FetchBytes >= full.Stats().FetchBytes {
+		t.Errorf("sector fetch bytes %d >= full %d", sect.Stats().FetchBytes, full.Stats().FetchBytes)
+	}
+	if sect.Stats().Misses() < full.Stats().Misses() {
+		t.Errorf("sector misses %d < full %d (impossible)", sect.Stats().Misses(), full.Stats().Misses())
+	}
+}
+
+func TestSectorWriteHitFill(t *testing.T) {
+	// Write-validate + sector fetch: a mis-sized write into an invalid
+	// sector fills just that sector.
+	cfg := sectorCfg()
+	cfg.WriteMiss = WriteValidate
+	c := MustNew(cfg)
+	c.Access(wr(0x300, 8)) // validates sector 0
+	c.Access(wr(0x30c, 4)) // half of sector 1: sub-block fill of 8B
+	s := c.Stats()
+	if s.SubblockWriteFills != 1 {
+		t.Errorf("fills = %d", s.SubblockWriteFills)
+	}
+	if s.FetchBytes != 8 {
+		t.Errorf("fetch bytes = %d, want 8 (one sector)", s.FetchBytes)
+	}
+	if st := c.Probe(0x300); st.Valid != 0xffff {
+		t.Errorf("valid = %#x, want full", st.Valid)
+	}
+}

@@ -1,0 +1,177 @@
+// Package experiments contains one runner per figure and table of the
+// paper's evaluation. Each runner takes an Env (the six benchmark
+// traces plus a memoized simulation cache) and produces a stats.Chart
+// or stats.Table whose series correspond one-to-one with the paper's
+// plot.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"cachewrite/internal/cache"
+	"cachewrite/internal/trace"
+	"cachewrite/internal/workload"
+)
+
+// Paper sweep axes.
+var (
+	// CacheSizes is the paper's cache-capacity sweep: 1KB to 128KB.
+	CacheSizes = []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10}
+	// LineSizes is the paper's line-size sweep: 4B to 64B.
+	LineSizes = []int{4, 8, 16, 32, 64}
+)
+
+const (
+	// StdCacheSize is the fixed capacity for line-size sweeps (8KB).
+	StdCacheSize = 8 << 10
+	// StdLineSize is the fixed line size for capacity sweeps (16B).
+	StdLineSize = 16
+)
+
+// Env holds the benchmark traces and memoizes cache simulations so the
+// many figures sharing a configuration pay for it once.
+type Env struct {
+	Traces []*trace.Trace
+
+	mu   sync.Mutex
+	memo map[string]cache.Stats
+}
+
+// NewEnv generates the six paper benchmarks at the given scale.
+func NewEnv(scale int) (*Env, error) {
+	ts, err := workload.GenerateAll(scale)
+	if err != nil {
+		return nil, err
+	}
+	return NewEnvFromTraces(ts), nil
+}
+
+// NewEnvFromTraces wraps pre-generated traces (tests use this with
+// truncated traces).
+func NewEnvFromTraces(ts []*trace.Trace) *Env {
+	return &Env{Traces: ts, memo: make(map[string]cache.Stats)}
+}
+
+// CacheStats runs trace index ti through the configuration (with a
+// final flush) and memoizes the result.
+func (e *Env) CacheStats(ti int, cfg cache.Config) (cache.Stats, error) {
+	key := fmt.Sprintf("%d|%d|%d|%d|%d|%d", ti, cfg.Size, cfg.LineSize, cfg.Assoc, cfg.WriteHit, cfg.WriteMiss)
+	e.mu.Lock()
+	if s, ok := e.memo[key]; ok {
+		e.mu.Unlock()
+		return s, nil
+	}
+	e.mu.Unlock()
+
+	c, err := cache.New(cfg)
+	if err != nil {
+		return cache.Stats{}, fmt.Errorf("experiments: %s on %s: %w", cfg, e.Traces[ti].Name, err)
+	}
+	c.AccessTrace(e.Traces[ti])
+	c.Flush()
+	s := c.Stats()
+
+	e.mu.Lock()
+	e.memo[key] = s
+	e.mu.Unlock()
+	return s, nil
+}
+
+// stdConfig returns the baseline write-back fetch-on-write cache used
+// throughout §3 and §5.
+func stdConfig(size, lineSize int) cache.Config {
+	return cache.Config{
+		Size: size, LineSize: lineSize, Assoc: 1,
+		WriteHit: cache.WriteBack, WriteMiss: cache.FetchOnWrite,
+	}
+}
+
+// kb formats a byte count as its KB value for chart X axes.
+func kb(bytes int) float64 { return float64(bytes) }
+
+// benchNames returns the trace names in order.
+func (e *Env) benchNames() []string {
+	names := make([]string, len(e.Traces))
+	for i, t := range e.Traces {
+		names[i] = t.Name
+	}
+	return names
+}
+
+// sweepConfigs enumerates every cache configuration the paper figures
+// consult: the capacity sweep at 16B lines and the line-size sweep at
+// 8KB, each under all four write-miss policies (no-allocate policies
+// paired with write-through, as in §4).
+func sweepConfigs() []cache.Config {
+	var cfgs []cache.Config
+	add := func(size, line int) {
+		for _, p := range cache.WriteMissPolicies() {
+			cfg := stdConfig(size, line)
+			cfg.WriteMiss = p
+			if p == cache.WriteAround || p == cache.WriteInvalidate {
+				cfg.WriteHit = cache.WriteThrough
+			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	for _, size := range CacheSizes {
+		add(size, StdLineSize)
+	}
+	for _, line := range LineSizes {
+		if line != StdLineSize {
+			add(StdCacheSize, line)
+		}
+	}
+	return cfgs
+}
+
+// Precompute warms the simulation memo for the full figure sweep using
+// the given number of workers (values < 1 mean one worker). Running it
+// before a batch of experiments turns the figure runners into pure
+// lookups. It is safe to skip: every runner computes what it needs on
+// demand.
+func (e *Env) Precompute(workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	type job struct {
+		ti  int
+		cfg cache.Config
+	}
+	var jobs []job
+	for ti := range e.Traces {
+		for _, cfg := range sweepConfigs() {
+			jobs = append(jobs, job{ti, cfg})
+		}
+	}
+	ch := make(chan job)
+	errc := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				if _, err := e.CacheStats(j.ti, j.cfg); err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}

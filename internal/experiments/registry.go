@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"cachewrite/internal/stats"
+)
+
+// Result is the outcome of one experiment: a chart, a table, or both
+// (Fig 17 produces a table of ordering checks).
+type Result struct {
+	Chart *stats.Chart
+	Table *stats.Table
+}
+
+// Runner regenerates one paper figure or table.
+type Runner func(e *Env) (Result, error)
+
+// entry pairs a runner with its description for listings.
+type entry struct {
+	id    string
+	desc  string
+	order int
+	run   Runner
+}
+
+var registry = map[string]entry{}
+
+func register(id, desc string, order int, run Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = entry{id: id, desc: desc, order: order, run: run}
+}
+
+// IDs returns all experiment ids in paper order.
+func IDs() []string {
+	es := make([]entry, 0, len(registry))
+	for _, e := range registry {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].order < es[j].order })
+	ids := make([]string, len(es))
+	for i, e := range es {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(id string) (string, error) {
+	e, ok := registry[id]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown id %q", id)
+	}
+	return e.desc, nil
+}
+
+// Run executes the experiment with the given id.
+func Run(env *Env, id string) (Result, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Result{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return e.run(env)
+}

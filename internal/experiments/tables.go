@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cachewrite/internal/stats"
+)
+
+func init() {
+	register("table1", "test program characteristics", 1, table1)
+	register("table2", "advantages and disadvantages of write-through and write-back caches", 30, table2)
+	register("table3", "hardware requirements for high performance write-back and write-through caches", 95, table3)
+}
+
+// table1 regenerates the paper's Table 1 with the characteristics of
+// our benchmark stand-ins (scaled-down, but with the same diversity and
+// an overall load:store ratio near the paper's 2.4:1).
+func table1(e *Env) (Result, error) {
+	tbl := &stats.Table{ID: "table1", Title: "Test program characteristics",
+		Columns: []string{"program", "dynamic instr.", "data reads", "data writes", "total refs.", "reads/write"},
+	}
+	var tot struct{ inst, r, w uint64 }
+	for _, t := range e.Traces {
+		s := t.Stats()
+		tbl.AddRow(t.Name, stats.FmtCount(s.Instructions), stats.FmtCount(s.Reads),
+			stats.FmtCount(s.Writes), stats.FmtCount(s.Refs()),
+			fmt.Sprintf("%.2f", s.LoadStoreRatio()))
+		tot.inst += s.Instructions
+		tot.r += s.Reads
+		tot.w += s.Writes
+	}
+	ratio := 0.0
+	if tot.w > 0 {
+		ratio = float64(tot.r) / float64(tot.w)
+	}
+	tbl.AddRow("total", stats.FmtCount(tot.inst), stats.FmtCount(tot.r),
+		stats.FmtCount(tot.w), stats.FmtCount(tot.r+tot.w), fmt.Sprintf("%.2f", ratio))
+	return Result{Table: tbl}, nil
+}
+
+// table2 reproduces the paper's qualitative comparison of write-through
+// and write-back caches (Table 2). It is definitional rather than
+// measured; the measured counterparts are Figs 1-2 (traffic) and Fig 5
+// (burstiness).
+func table2(*Env) (Result, error) {
+	tbl := &stats.Table{ID: "table2", Title: "Advantages and disadvantages of write-through and write-back caches",
+		Columns: []string{"feature", "write-through", "write-back"},
+	}
+	tbl.AddRow("traffic", "- more", "+ less")
+	tbl.AddRow("additional buffers", "- write buffer needed", "- dirty victim buffer needed")
+	tbl.AddRow("ability to handle bursty writes", "- write buffer can overflow", "+ OK unless writes miss with dirty victims")
+	tbl.AddRow("single bit soft or hard error safe", "+ with parity", "- only with ECC")
+	tbl.AddRow("pipelining", "+ same as loads if direct-mapped", "- doesn't match")
+	tbl.AddRow("cycles required per write", "+ 1", "- 1 to 2 (incl. probe)")
+	return Result{Table: tbl}, nil
+}
+
+// table3 reproduces the paper's Table 3: the surprisingly symmetric
+// hardware requirements of high-performance write-back and
+// write-through caches (§3.3).
+func table3(*Env) (Result, error) {
+	tbl := &stats.Table{ID: "table3", Title: "Hardware requirements for high performance write-back and write-through caches",
+		Columns: []string{"feature", "write-back", "write-through"},
+	}
+	tbl.AddRow("exit traffic buffer", "dirty victim register", "write buffer")
+	tbl.AddRow("bandwidth improvement", "delayed write register", "write cache")
+	tbl.AddRow("other", "cache line dirty bits", "")
+	return Result{Table: tbl}, nil
+}
+
+// Diagram returns an ASCII rendition of the paper's organization
+// figures that carry no data: Fig 3 (pipelines), Fig 4 (delayed write),
+// Fig 6 (write cache organization) and Fig 12 (write-miss taxonomy).
+// It returns the empty string for unknown ids.
+func Diagram(id string) string {
+	switch id {
+	case "fig3":
+		return `FIG3 — Direct-mapped write-through and write-back pipelines
+pipestage  load function              write-through$     write-back*
+IF         instruction fetch
+RF         register fetch
+ALU        address calculation
+MEM        cache access: read data,   write data         read tags
+           read tags                  read tags
+WB         write register file                           write data if tags hit
+$ also assumes direct-mapped.  * also set-associative write-through.`
+	case "fig4":
+		return `FIG4 — Delayed write method for write-back caches
+ addr from CPU            data from CPU
+   |                         |            data to CPU if hit
+   |   +---------------------+----------> in last-write register
+   |   |  last write addr + comparator |
+   |   |  last write data              |
+   v   v
+ [tags]  [data]   <- separate address lines: probe tag for write N
+ direct-mapped       while writing data of write N-1`
+	case "fig6":
+		return `FIG6 — Write cache organization
+ CPU addr/data
+      |
+ [ data cache (write-through, direct-mapped) ]
+      | write misses in data cache but hit in write cache/buffer
+      v                        return data if hit
+ [ fully-associative write cache: MRU..LRU, 8B lines + tags ]
+      | LRU entry on allocation
+      v
+ [ write buffer ] --> to next lower cache`
+	case "fig12":
+		return `FIG12 — Write miss alternatives
+ fetch-on-write? --yes--> FETCH-ON-WRITE (implies write-allocate)
+      |no
+ write-allocate? --yes--> WRITE-VALIDATE (needs sub-block valid bits)
+      |no
+ write-invalidate? --yes--> WRITE-INVALIDATE
+      |no
+      +--> WRITE-AROUND`
+	default:
+		return ""
+	}
+}

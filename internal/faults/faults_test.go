@@ -1,0 +1,138 @@
+package faults
+
+import (
+	"testing"
+
+	"cachewrite/internal/cache"
+	"cachewrite/internal/synth"
+	"cachewrite/internal/trace"
+)
+
+func wbCfg() cache.Config {
+	return cache.Config{Size: 1 << 10, LineSize: 16, Assoc: 1,
+		WriteHit: cache.WriteBack, WriteMiss: cache.FetchOnWrite}
+}
+
+func wtCfg() cache.Config {
+	return cache.Config{Size: 1 << 10, LineSize: 16, Assoc: 1,
+		WriteHit: cache.WriteThrough, WriteMiss: cache.FetchOnWrite}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	if ByteParity.String() != "byte parity" || WordSECECC.String() != "word SEC ECC" {
+		t.Error("scheme names wrong")
+	}
+	if Scheme(9).String() == "" {
+		t.Error("unknown scheme should render")
+	}
+	if ByteParity.OverheadBitsPerWord() != 4 || WordSECECC.OverheadBitsPerWord() != 6 {
+		t.Error("overhead bits wrong (paper: 4 parity vs 6 ECC per 32b word)")
+	}
+	if Scheme(9).OverheadBitsPerWord() != 0 {
+		t.Error("unknown scheme overhead should be 0")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{Cache: wbCfg(), ErrorEvery: 100}).Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	if (Config{Cache: cache.Config{}, ErrorEvery: 100}).Validate() == nil {
+		t.Error("bad cache accepted")
+	}
+	if (Config{Cache: wbCfg(), ErrorEvery: 0}).Validate() == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Inject(Config{}, &trace.Trace{}); err == nil {
+		t.Error("Inject accepted bad config")
+	}
+}
+
+func TestWriteThroughParityNeverLosesData(t *testing.T) {
+	// A write-through cache never holds dirty data, so byte parity plus
+	// refetch recovers every error — the paper's core claim.
+	tr, err := synth.HotCold(3, 30000, 16, 16, 1<<16, 80, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Inject(Config{Cache: wtCfg(), Scheme: ByteParity, ErrorEvery: 50}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Injected == 0 {
+		t.Fatal("no errors injected")
+	}
+	if rep.DataLoss != 0 {
+		t.Errorf("write-through + parity lost data %d times", rep.DataLoss)
+	}
+	if rep.RecoveredByRefetch != rep.Injected {
+		t.Errorf("recovered %d of %d", rep.RecoveredByRefetch, rep.Injected)
+	}
+	if rep.RefetchTraffic == 0 {
+		t.Error("recovery traffic not accounted")
+	}
+}
+
+func TestWriteBackParityLosesDirtyData(t *testing.T) {
+	// A write-back cache with only parity loses data whenever an upset
+	// strikes a dirty word — the paper's reason WB "requires" ECC.
+	tr, err := synth.HotCold(3, 30000, 16, 16, 1<<16, 80, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Inject(Config{Cache: wbCfg(), Scheme: ByteParity, ErrorEvery: 50}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DataLoss == 0 {
+		t.Error("write-back + parity never lost data on a write-heavy trace")
+	}
+	if rep.LossRate() <= 0 || rep.LossRate() > 1 {
+		t.Errorf("loss rate = %v", rep.LossRate())
+	}
+}
+
+func TestWriteBackECCCorrectsSingles(t *testing.T) {
+	tr, err := synth.HotCold(3, 30000, 16, 16, 1<<16, 80, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parity, err := Inject(Config{Cache: wbCfg(), Scheme: ByteParity, ErrorEvery: 50}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecc, err := Inject(Config{Cache: wbCfg(), Scheme: WordSECECC, ErrorEvery: 50}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ecc.CorrectedInPlace == 0 {
+		t.Error("ECC corrected nothing")
+	}
+	if ecc.DataLoss >= parity.DataLoss {
+		t.Errorf("ECC (%d losses) not better than parity (%d) on a write-back cache",
+			ecc.DataLoss, parity.DataLoss)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	tr, _ := synth.HotCold(5, 10000, 16, 16, 1<<16, 80, 40)
+	cfg := Config{Cache: wbCfg(), Scheme: WordSECECC, ErrorEvery: 64, Seed: 42}
+	a, err := Inject(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Inject(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("injection not deterministic")
+	}
+}
+
+func TestLossRateZeroSafe(t *testing.T) {
+	var r Report
+	if r.LossRate() != 0 {
+		t.Error("zero report divides by zero")
+	}
+}

@@ -1,0 +1,38 @@
+package hierarchy_test
+
+import (
+	"fmt"
+
+	"cachewrite/internal/cache"
+	"cachewrite/internal/hierarchy"
+	"cachewrite/internal/synth"
+	"cachewrite/internal/writecache"
+)
+
+// Example composes the paper's Fig 6 organization: a write-through L1
+// with a five-entry write cache in front of an L2, and shows how much
+// write traffic the write cache absorbs.
+func Example() {
+	t, err := synth.HotCold(1, 20000, 8, 16, 1<<18, 85, 40)
+	if err != nil {
+		panic(err)
+	}
+	l2 := cache.Config{Size: 256 << 10, LineSize: 64, Assoc: 4,
+		WriteHit: cache.WriteBack, WriteMiss: cache.FetchOnWrite}
+	run := func(wc *writecache.Config) uint64 {
+		h := hierarchy.MustNew(hierarchy.Config{
+			L1: cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1,
+				WriteHit: cache.WriteThrough, WriteMiss: cache.FetchOnWrite},
+			WriteCache: wc,
+			L2:         &l2,
+		})
+		h.AccessTrace(t)
+		return h.Stats().L1ToL2Transactions
+	}
+	plain := run(nil)
+	cached := run(&writecache.Config{Entries: 5, LineSize: 8})
+	fmt.Printf("write cache removes %.0f%% of L1->L2 transactions\n",
+		100*(1-float64(cached)/float64(plain)))
+	// Output:
+	// write cache removes 31% of L1->L2 transactions
+}

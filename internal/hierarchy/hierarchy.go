@@ -1,0 +1,269 @@
+// Package hierarchy composes a two-level memory hierarchy around the
+// first-level data cache: L1 → (optional write cache) → L2 → memory.
+// The paper assumes "two or more levels of caching" (§1); this package
+// provides that second level and the measurement points for the traffic
+// "out the back" of the first-level cache that §5 characterizes.
+package hierarchy
+
+import (
+	"fmt"
+
+	"cachewrite/internal/cache"
+	"cachewrite/internal/trace"
+	"cachewrite/internal/writecache"
+)
+
+// Config describes the hierarchy.
+type Config struct {
+	// L1 is the first-level data cache configuration.
+	L1 cache.Config
+	// WriteCache, if non-nil, places a write cache between L1 and L2.
+	// Only sensible when L1 is write-through (as in the paper's Fig 6).
+	WriteCache *writecache.Config
+	// VictimMode additionally runs the write cache as a victim cache
+	// (the paper notes the two structures can be merged, citing Jouppi
+	// 1990): clean L1 victims are captured and L1 line fetches that hit
+	// a captured victim skip the L2. Requires WriteCache with a line
+	// size equal to L1's.
+	VictimMode bool
+	// L2, if non-nil, adds a second-level cache. When nil the back side
+	// of L1 (or the write cache) talks straight to memory.
+	L2 *cache.Config
+	// Inclusive enforces multi-level inclusion: an L2 eviction
+	// back-invalidates any L1 lines it covered, with L1 dirty data
+	// merged into the outgoing victim. Requires an L2.
+	Inclusive bool
+}
+
+// Validate reports whether the configuration is realizable.
+func (c Config) Validate() error {
+	if err := c.L1.Validate(); err != nil {
+		return fmt.Errorf("hierarchy: L1: %w", err)
+	}
+	if c.WriteCache != nil {
+		if err := c.WriteCache.Validate(); err != nil {
+			return fmt.Errorf("hierarchy: write cache: %w", err)
+		}
+		if c.L1.WriteHit != cache.WriteThrough {
+			return fmt.Errorf("hierarchy: a write cache requires a write-through L1 (got %s)", c.L1.WriteHit)
+		}
+	}
+	if c.VictimMode {
+		if c.WriteCache == nil {
+			return fmt.Errorf("hierarchy: victim mode requires a write cache")
+		}
+		if c.WriteCache.LineSize != c.L1.LineSize {
+			return fmt.Errorf("hierarchy: victim mode needs write-cache lines (%dB) matching L1 lines (%dB)",
+				c.WriteCache.LineSize, c.L1.LineSize)
+		}
+	}
+	if c.Inclusive && c.L2 == nil {
+		return fmt.Errorf("hierarchy: inclusion requires an L2")
+	}
+	if c.L2 != nil {
+		if err := c.L2.Validate(); err != nil {
+			return fmt.Errorf("hierarchy: L2: %w", err)
+		}
+		if c.L2.LineSize < c.L1.LineSize {
+			return fmt.Errorf("hierarchy: L2 line size %dB smaller than L1's %dB", c.L2.LineSize, c.L1.LineSize)
+		}
+		if c.L2.Size < c.L1.Size {
+			return fmt.Errorf("hierarchy: L2 size %dB smaller than L1's %dB (inclusion impossible)", c.L2.Size, c.L1.Size)
+		}
+	}
+	return nil
+}
+
+// Stats aggregates the hierarchy's traffic counters.
+type Stats struct {
+	// L1ToL2Transactions counts transactions leaving the L1 complex
+	// (after write-cache merging): line fetches, dirty write-backs, and
+	// write-through words or write-cache evictions.
+	L1ToL2Transactions uint64
+	// L1ToL2Bytes is the same traffic in bytes (whole-line write-backs).
+	L1ToL2Bytes uint64
+	// L2ToMemTransactions and L2ToMemBytes count traffic at the back of
+	// the L2 (zero when no L2 is configured).
+	L2ToMemTransactions uint64
+	L2ToMemBytes        uint64
+	// VictimHits counts L1 line fetches satisfied by the write cache in
+	// victim mode (each one is an avoided L1->L2 transaction).
+	VictimHits uint64
+	// BackInvalidations counts L1 lines invalidated to preserve
+	// inclusion when the L2 evicted; InclusionDirtyBytes is the L1 dirty
+	// data merged into outgoing L2 victims in the process.
+	BackInvalidations   uint64
+	InclusionDirtyBytes uint64
+}
+
+// Hierarchy is a composed simulator. Drive it with Access/AccessTrace
+// and read the per-level statistics afterwards.
+type Hierarchy struct {
+	cfg Config
+	l1  *cache.Cache
+	wc  *writecache.Cache
+	l2  *cache.Cache
+
+	stats Stats
+}
+
+// New builds the hierarchy.
+func New(cfg Config) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{cfg: cfg}
+	var err error
+	if h.l1, err = cache.New(cfg.L1); err != nil {
+		return nil, err
+	}
+	if cfg.WriteCache != nil {
+		if h.wc, err = writecache.New(*cfg.WriteCache); err != nil {
+			return nil, err
+		}
+		h.wc.SetOnEvict(func(lineAddr uint32) {
+			h.stats.L1ToL2Transactions++
+			h.stats.L1ToL2Bytes += uint64(h.wc.LineSize())
+			if h.l2 != nil {
+				h.l2.Access(trace.Event{Addr: lineAddr, Size: uint8(h.wc.LineSize()), Kind: trace.Write})
+			}
+		})
+	}
+	if cfg.L2 != nil {
+		if h.l2, err = cache.New(*cfg.L2); err != nil {
+			return nil, err
+		}
+		h.l2.SetBackside(&memSink{h: h})
+	}
+	h.l1.SetBackside(&l1Sink{h: h})
+	return h, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Hierarchy {
+	h, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Access simulates one event through the hierarchy.
+func (h *Hierarchy) Access(e trace.Event) { h.l1.Access(e) }
+
+// AccessTrace simulates the whole trace.
+func (h *Hierarchy) AccessTrace(t *trace.Trace) {
+	for _, e := range t.Events {
+		h.l1.Access(e)
+	}
+}
+
+// Flush drains dirty state from every level (flush-stop accounting).
+func (h *Hierarchy) Flush() {
+	h.l1.Flush()
+	if h.wc != nil {
+		h.wc.Drain()
+	}
+	if h.l2 != nil {
+		h.l2.Flush()
+	}
+}
+
+// L1 returns the first-level cache (for its statistics).
+func (h *Hierarchy) L1() *cache.Cache { return h.l1 }
+
+// L2 returns the second-level cache, or nil.
+func (h *Hierarchy) L2() *cache.Cache { return h.l2 }
+
+// WriteCache returns the write cache, or nil.
+func (h *Hierarchy) WriteCache() *writecache.Cache { return h.wc }
+
+// Stats returns the hierarchy-level traffic counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// l1Sink receives L1 back-side traffic, routes write words through the
+// write cache when present, and forwards everything to the L2.
+type l1Sink struct{ h *Hierarchy }
+
+func (s *l1Sink) FetchLine(addr uint32, size int) {
+	h := s.h
+	if h.cfg.VictimMode && h.wc.ProbeVictim(addr, uint8(size)) {
+		// The line is a captured victim: refill from the write cache and
+		// skip the lower level entirely.
+		h.stats.VictimHits++
+		return
+	}
+	h.stats.L1ToL2Transactions++
+	h.stats.L1ToL2Bytes += uint64(size)
+	if h.l2 != nil {
+		h.l2.Access(trace.Event{Addr: addr, Size: uint8(size), Kind: trace.Read})
+	}
+}
+
+func (s *l1Sink) WritebackLine(addr uint32, size, dirtyBytes int) {
+	h := s.h
+	h.stats.L1ToL2Transactions++
+	h.stats.L1ToL2Bytes += uint64(size)
+	if h.l2 != nil {
+		h.l2.Access(trace.Event{Addr: addr, Size: uint8(size), Kind: trace.Write})
+	}
+}
+
+func (s *l1Sink) WriteWord(addr uint32, size uint8) {
+	h := s.h
+	if h.wc != nil {
+		// Only write-cache evictions proceed to the next level; the
+		// SetOnEvict handler registered in New accounts them.
+		h.wc.Write(addr, size)
+		return
+	}
+	h.stats.L1ToL2Transactions++
+	h.stats.L1ToL2Bytes += uint64(size)
+	if h.l2 != nil {
+		h.l2.Access(trace.Event{Addr: addr, Size: size, Kind: trace.Write})
+	}
+}
+
+// ObserveVictim captures clean L1 victims into the write cache when
+// victim mode is on. (Dirty victims cannot occur behind a write-through
+// L1.) Evictions forced by the allocation are accounted by the write
+// cache's SetOnEvict handler.
+func (s *l1Sink) ObserveVictim(addr uint32, size, dirtyBytes int) {
+	h := s.h
+	if !h.cfg.VictimMode || dirtyBytes != 0 {
+		return
+	}
+	h.wc.AllocateVictim(addr)
+}
+
+// memSink counts traffic at the back of the L2 and, in inclusive mode,
+// back-invalidates the L1 on L2 evictions.
+type memSink struct{ h *Hierarchy }
+
+// ObserveVictim implements cache.VictimObserver for the L2: every L2
+// victim (clean or dirty) back-invalidates its L1 cover when inclusion
+// is enforced.
+func (s *memSink) ObserveVictim(addr uint32, size, dirtyBytes int) {
+	h := s.h
+	if !h.cfg.Inclusive {
+		return
+	}
+	lines, l1Dirty := h.l1.InvalidateRange(addr, size)
+	h.stats.BackInvalidations += uint64(lines)
+	h.stats.InclusionDirtyBytes += uint64(l1Dirty)
+}
+
+func (s *memSink) FetchLine(addr uint32, size int) {
+	s.h.stats.L2ToMemTransactions++
+	s.h.stats.L2ToMemBytes += uint64(size)
+}
+
+func (s *memSink) WritebackLine(addr uint32, size, dirtyBytes int) {
+	s.h.stats.L2ToMemTransactions++
+	s.h.stats.L2ToMemBytes += uint64(size)
+}
+
+func (s *memSink) WriteWord(addr uint32, size uint8) {
+	s.h.stats.L2ToMemTransactions++
+	s.h.stats.L2ToMemBytes += uint64(size)
+}

@@ -1,0 +1,201 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"cachewrite/internal/cache"
+	"cachewrite/internal/trace"
+	"cachewrite/internal/writecache"
+)
+
+func l1cfg(hit cache.WriteHitPolicy) cache.Config {
+	return cache.Config{Size: 1 << 10, LineSize: 16, Assoc: 1,
+		WriteHit: hit, WriteMiss: cache.FetchOnWrite}
+}
+
+func l2cfg() *cache.Config {
+	return &cache.Config{Size: 16 << 10, LineSize: 32, Assoc: 2,
+		WriteHit: cache.WriteBack, WriteMiss: cache.FetchOnWrite}
+}
+
+func rd(addr uint32) trace.Event { return trace.Event{Addr: addr, Size: 4, Kind: trace.Read} }
+func wr(addr uint32) trace.Event { return trace.Event{Addr: addr, Size: 4, Kind: trace.Write} }
+
+func TestValidate(t *testing.T) {
+	good := Config{L1: l1cfg(cache.WriteBack), L2: l2cfg()}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"bad L1", Config{L1: cache.Config{}}},
+		{"write cache on write-back L1", Config{
+			L1:         l1cfg(cache.WriteBack),
+			WriteCache: &writecache.Config{Entries: 5, LineSize: 8},
+		}},
+		{"bad write cache", Config{
+			L1:         l1cfg(cache.WriteThrough),
+			WriteCache: &writecache.Config{Entries: -1, LineSize: 8},
+		}},
+		{"bad L2", Config{L1: l1cfg(cache.WriteBack), L2: &cache.Config{}}},
+		{"L2 line smaller than L1", Config{
+			L1: l1cfg(cache.WriteBack),
+			L2: &cache.Config{Size: 16 << 10, LineSize: 4, Assoc: 1,
+				WriteHit: cache.WriteBack, WriteMiss: cache.FetchOnWrite},
+		}},
+		{"L2 smaller than L1", Config{
+			L1: l1cfg(cache.WriteBack),
+			L2: &cache.Config{Size: 512, LineSize: 16, Assoc: 1,
+				WriteHit: cache.WriteBack, WriteMiss: cache.FetchOnWrite},
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: New accepted", tc.name)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestBacksideCountsMatchL1(t *testing.T) {
+	// Without a write cache, hierarchy transactions must equal the L1's
+	// own back-side accounting (program execution only).
+	h := MustNew(Config{L1: l1cfg(cache.WriteBack)})
+	tr := &trace.Trace{}
+	for i := 0; i < 500; i++ {
+		tr.Append(rd(uint32(i*16) % 4096))
+		tr.Append(wr(uint32(i*32) % 8192))
+	}
+	h.AccessTrace(tr)
+	s1 := h.L1().Stats()
+	if got, want := h.Stats().L1ToL2Transactions, s1.BacksideTransactions(); got != want {
+		t.Errorf("hierarchy counted %d transactions, L1 says %d", got, want)
+	}
+	if got, want := h.Stats().L1ToL2Bytes, s1.BacksideBytes(false); got != want {
+		t.Errorf("hierarchy counted %d bytes, L1 says %d", got, want)
+	}
+}
+
+func TestL2SeesL1Misses(t *testing.T) {
+	h := MustNew(Config{L1: l1cfg(cache.WriteBack), L2: l2cfg()})
+	h.Access(rd(0x100))
+	h.Access(rd(0x100)) // L1 hit: L2 silent
+	l2 := h.L2().Stats()
+	if l2.Reads != 1 {
+		t.Fatalf("L2 saw %d reads, want 1", l2.Reads)
+	}
+	if l2.ReadMissEvents != 1 {
+		t.Errorf("L2 read misses = %d, want 1", l2.ReadMissEvents)
+	}
+	// L2-to-memory traffic counted.
+	if h.Stats().L2ToMemTransactions != 1 {
+		t.Errorf("L2->mem transactions = %d, want 1", h.Stats().L2ToMemTransactions)
+	}
+	// Second L1 miss to a nearby line hits in the L2's 32B line.
+	h.Access(rd(0x110))
+	l2 = h.L2().Stats()
+	if l2.ReadMissEvents != 1 {
+		t.Errorf("nearby L1 miss should hit the L2's longer line (misses=%d)", l2.ReadMissEvents)
+	}
+}
+
+func TestWriteThroughWordsReachL2(t *testing.T) {
+	h := MustNew(Config{L1: l1cfg(cache.WriteThrough), L2: l2cfg()})
+	h.Access(rd(0x100))
+	h.Access(wr(0x100))
+	l2 := h.L2().Stats()
+	if l2.Writes != 1 {
+		t.Errorf("L2 saw %d writes, want 1 (the written-through word)", l2.Writes)
+	}
+}
+
+func TestDirtyVictimWritebackReachesL2(t *testing.T) {
+	h := MustNew(Config{L1: l1cfg(cache.WriteBack), L2: l2cfg()})
+	h.Access(wr(0x100))         // dirty line in L1 (fetch-on-write)
+	h.Access(rd(0x100 + 1<<10)) // conflicting line evicts it
+	l2 := h.L2().Stats()
+	if l2.Writes != 1 {
+		t.Errorf("L2 saw %d writes, want 1 (the victim write-back)", l2.Writes)
+	}
+}
+
+func TestWriteCachePath(t *testing.T) {
+	h := MustNew(Config{
+		L1:         l1cfg(cache.WriteThrough),
+		WriteCache: &writecache.Config{Entries: 2, LineSize: 8},
+		L2:         l2cfg(),
+	})
+	// Fill the line so writes hit in L1 and pass through to the write
+	// cache.
+	h.Access(rd(0x100))
+	h.Access(wr(0x100))
+	h.Access(wr(0x104)) // merges in the write cache
+	// No write-cache eviction yet: the only L1->L2 traffic is the fetch.
+	if got := h.Stats().L1ToL2Transactions; got != 1 {
+		t.Fatalf("transactions = %d, want 1 (fetch only; writes merged)", got)
+	}
+	// Two more distinct lines force an eviction of line 0x100.
+	h.Access(rd(0x200))
+	h.Access(wr(0x200))
+	h.Access(rd(0x300))
+	h.Access(wr(0x300))
+	st := h.Stats()
+	// Fetches: 3 reads -> 3. Write-cache evictions: 1 (line 0x100).
+	if st.L1ToL2Transactions != 4 {
+		t.Errorf("transactions = %d, want 4 (3 fetches + 1 write-cache eviction)", st.L1ToL2Transactions)
+	}
+	if h.WriteCache() == nil {
+		t.Error("WriteCache accessor nil")
+	}
+	// The evicted write's address (0x100) must have reached the L2 as a
+	// write.
+	if h.L2().Stats().Writes != 1 {
+		t.Errorf("L2 writes = %d, want 1", h.L2().Stats().Writes)
+	}
+}
+
+func TestFlushDrainsAllLevels(t *testing.T) {
+	h := MustNew(Config{
+		L1:         l1cfg(cache.WriteThrough),
+		WriteCache: &writecache.Config{Entries: 8, LineSize: 8},
+		L2:         l2cfg(),
+	})
+	h.Access(wr(0x100)) // write miss: fetch + write through into WC
+	before := h.Stats().L1ToL2Transactions
+	h.Flush()
+	after := h.Stats().L1ToL2Transactions
+	if after <= before {
+		t.Error("flush did not drain the write cache")
+	}
+	if h.L1().ResidentLines() != 0 {
+		t.Error("L1 not flushed")
+	}
+	if h.L2().ResidentLines() != 0 {
+		t.Error("L2 not flushed")
+	}
+}
+
+func TestNoL2IsLegal(t *testing.T) {
+	h := MustNew(Config{L1: l1cfg(cache.WriteBack)})
+	h.Access(rd(0x100))
+	if h.L2() != nil {
+		t.Error("L2 should be nil")
+	}
+	if h.Stats().L2ToMemTransactions != 0 {
+		t.Error("phantom L2 traffic")
+	}
+	h.Flush() // must not panic
+}

@@ -1,0 +1,178 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"cachewrite/internal/cache"
+	"cachewrite/internal/trace"
+	"cachewrite/internal/writecache"
+)
+
+func victimCfg(on bool) Config {
+	return Config{
+		L1: cache.Config{Size: 256, LineSize: 16, Assoc: 1,
+			WriteHit: cache.WriteThrough, WriteMiss: cache.FetchOnWrite},
+		WriteCache: &writecache.Config{Entries: 4, LineSize: 16},
+		VictimMode: on,
+	}
+}
+
+func TestVictimModeValidation(t *testing.T) {
+	if err := victimCfg(true).Validate(); err != nil {
+		t.Fatalf("good victim config rejected: %v", err)
+	}
+	// Victim mode without a write cache.
+	bad := victimCfg(true)
+	bad.WriteCache = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("victim mode without write cache accepted")
+	}
+	// Mismatched line sizes.
+	bad = victimCfg(true)
+	bad.WriteCache = &writecache.Config{Entries: 4, LineSize: 8}
+	if err := bad.Validate(); err == nil {
+		t.Error("victim mode with 8B write-cache lines behind 16B L1 lines accepted")
+	}
+}
+
+// TestVictimModeCapturesConflictMisses: two lines that conflict in the
+// tiny direct-mapped L1 ping-pong; the victim cache absorbs the misses
+// after the first round trip.
+func TestVictimModeCapturesConflictMisses(t *testing.T) {
+	a, b := uint32(0x000), uint32(0x100) // same set in a 256B DM cache
+
+	run := func(victim bool) (victimHits, transactions uint64) {
+		h := MustNew(victimCfg(victim))
+		for i := 0; i < 10; i++ {
+			h.Access(trace.Event{Addr: a, Size: 4, Kind: trace.Read})
+			h.Access(trace.Event{Addr: b, Size: 4, Kind: trace.Read})
+		}
+		return h.Stats().VictimHits, h.Stats().L1ToL2Transactions
+	}
+
+	offHits, offTx := run(false)
+	onHits, onTx := run(true)
+	if offHits != 0 {
+		t.Fatalf("victim hits without victim mode: %d", offHits)
+	}
+	// 20 accesses ping-ponging: first two fetch from below; every later
+	// refill should come from the victim cache.
+	if onHits < 17 {
+		t.Errorf("victim hits = %d, want >= 17", onHits)
+	}
+	if onTx >= offTx {
+		t.Errorf("victim mode did not cut L1->L2 transactions: %d vs %d", onTx, offTx)
+	}
+}
+
+// TestVictimModeIgnoresDirtyEntries: a line known to the write cache
+// only through a word write (partial line) must not satisfy a refill.
+func TestVictimModeIgnoresDirtyEntries(t *testing.T) {
+	h := MustNew(victimCfg(true))
+	a := uint32(0x000)
+	// Write-miss at a: fetch-on-write fills L1, the written word enters
+	// the write cache as a dirty (partial) entry.
+	h.Access(trace.Event{Addr: a, Size: 4, Kind: trace.Write})
+	// Evict a with a conflicting read; a's clean victim IS captured, so
+	// to test the dirty-entry path use a third line never read before:
+	b := uint32(0x100)
+	h.Access(trace.Event{Addr: b, Size: 4, Kind: trace.Write}) // dirty wc entry for b
+	base := h.Stats().VictimHits
+	// b is resident in L1 (fetch-on-write); evict it via a conflicting
+	// access c, then re-read b: the victim cache has b both as a dirty
+	// write entry and as a captured clean victim — the clean capture
+	// happens at eviction, so this hit is legitimate.
+	c := uint32(0x200)
+	h.Access(trace.Event{Addr: c, Size: 4, Kind: trace.Read})
+	h.Access(trace.Event{Addr: b, Size: 4, Kind: trace.Read})
+	_ = base
+	// The core invariant: ProbeVictim never fires for lines whose only
+	// write-cache presence is a dirty word entry. Exercise it directly.
+	wc, err := writecache.New(writecache.Config{Entries: 4, LineSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc.Write(0x40, 4)
+	if wc.ProbeVictim(0x40, 16) {
+		t.Error("dirty partial entry served a full-line refill")
+	}
+	wc.AllocateVictim(0x40)
+	if !wc.ProbeVictim(0x40, 16) {
+		t.Error("clean captured victim not served")
+	}
+}
+
+func inclusiveCfg(on bool) Config {
+	l2 := cache.Config{Size: 1 << 10, LineSize: 64, Assoc: 1,
+		WriteHit: cache.WriteBack, WriteMiss: cache.FetchOnWrite}
+	return Config{
+		L1: cache.Config{Size: 256, LineSize: 16, Assoc: 1,
+			WriteHit: cache.WriteBack, WriteMiss: cache.FetchOnWrite},
+		L2:        &l2,
+		Inclusive: on,
+	}
+}
+
+func TestInclusionValidation(t *testing.T) {
+	cfg := inclusiveCfg(true)
+	cfg.L2 = nil
+	if cfg.Validate() == nil {
+		t.Error("inclusion without L2 accepted")
+	}
+}
+
+func TestInclusiveBackInvalidation(t *testing.T) {
+	h := MustNew(inclusiveCfg(true))
+	// Dirty an L1 line at 0x100 (inside L2 line 0x100-0x13f, set 4).
+	h.Access(wr(0x100))
+	if !h.L1().Probe(0x100).Present {
+		t.Fatal("line not resident")
+	}
+	// Evict the covering L2 line with an address that conflicts in the
+	// L2 (1KB/64B: set 4, as 0x510/64 = 20 ≡ 4 mod 16) but NOT in the
+	// 256B/16B L1 (0x510/16 = 81 ≡ 1 mod 16 vs 0x100's set 0).
+	h.Access(rd(0x510))
+	if h.L1().Probe(0x100).Present {
+		t.Error("inclusion violated: L1 line survived its L2 eviction")
+	}
+	s := h.Stats()
+	if s.BackInvalidations != 1 {
+		t.Errorf("back invalidations = %d, want 1", s.BackInvalidations)
+	}
+	if s.InclusionDirtyBytes != 4 {
+		t.Errorf("inclusion dirty bytes = %d, want 4", s.InclusionDirtyBytes)
+	}
+}
+
+func TestNonInclusiveKeepsL1Lines(t *testing.T) {
+	h := MustNew(inclusiveCfg(false))
+	h.Access(wr(0x100))
+	h.Access(rd(0x510)) // evicts the covering L2 line, not the L1 line
+	if !h.L1().Probe(0x100).Present {
+		t.Error("non-inclusive hierarchy invalidated an L1 line")
+	}
+	if h.Stats().BackInvalidations != 0 {
+		t.Error("phantom back-invalidations")
+	}
+}
+
+// TestInclusionHolds: after a mixed workload, every resident L1 line is
+// covered by a resident L2 line.
+func TestInclusionHolds(t *testing.T) {
+	h := MustNew(inclusiveCfg(true))
+	for i := 0; i < 5000; i++ {
+		addr := uint32((i*313)%(1<<13)) &^ 3
+		if i%3 == 0 {
+			h.Access(wr(addr))
+		} else {
+			h.Access(rd(addr))
+		}
+	}
+	// Probe every possible L1-resident line address in the touched range
+	// and check L2 coverage.
+	for addr := uint32(0); addr < 1<<13; addr += 16 {
+		if h.L1().Probe(addr).Present && !h.L2().Probe(addr).Present {
+			t.Fatalf("L1 line %#x resident without L2 cover", addr)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package pipeline
+
+import (
+	"testing"
+
+	"cachewrite/internal/cache"
+	"cachewrite/internal/trace"
+	"cachewrite/internal/writebuffer"
+)
+
+func wtCfg() cache.Config {
+	return cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1,
+		WriteHit: cache.WriteThrough, WriteMiss: cache.FetchOnWrite}
+}
+
+func wbCfg() cache.Config {
+	return cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1,
+		WriteHit: cache.WriteBack, WriteMiss: cache.FetchOnWrite}
+}
+
+func ev(k trace.Kind, addr uint32, gap uint16) trace.Event {
+	return trace.Event{Addr: addr, Size: 4, Gap: gap, Kind: k}
+}
+
+func TestOrganizationStrings(t *testing.T) {
+	for _, o := range Organizations() {
+		if o.String() == "" {
+			t.Errorf("organization %d has no name", o)
+		}
+	}
+	if Organization(9).String() == "" {
+		t.Error("unknown organization should still render")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Config{Org: SimpleWriteBack, Cache: wbCfg(), MissPenalty: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{Org: Organization(9), Cache: wbCfg()},
+		{Org: SimpleWriteBack, Cache: cache.Config{}},
+		{Org: SimpleWriteBack, Cache: wbCfg(), MissPenalty: -1},
+		{Org: DirectMappedWriteThrough, Cache: func() cache.Config {
+			c := wtCfg()
+			c.Assoc = 2
+			return c
+		}()},
+		{Org: SimpleWriteBack, Cache: wbCfg(),
+			WriteBuffer: &writebuffer.Config{Entries: -1, LineSize: 16}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := Evaluate(Config{Org: Organization(9), Cache: wbCfg()}, &trace.Trace{}); err == nil {
+		t.Error("Evaluate accepted a bad config")
+	}
+}
+
+// TestStoreLoadInterlock: a load in the very next instruction after a
+// store stalls once on SimpleWriteBack, never on the other two.
+func TestStoreLoadInterlock(t *testing.T) {
+	tr := &trace.Trace{Events: []trace.Event{
+		ev(trace.Read, 0x100, 0), // prime the line
+		ev(trace.Write, 0x100, 0),
+		ev(trace.Read, 0x104, 0), // back-to-back load after store
+	}}
+	for _, org := range Organizations() {
+		cc := wbCfg()
+		if org == DirectMappedWriteThrough {
+			cc = wtCfg()
+		}
+		s, err := Evaluate(Config{Org: org, Cache: cc}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(0)
+		if org == SimpleWriteBack {
+			want = 1
+		}
+		if s.InterlockStalls != want {
+			t.Errorf("%s: interlocks = %d, want %d", org, s.InterlockStalls, want)
+		}
+	}
+}
+
+// TestGapBreaksInterlock: any intervening non-memory instruction clears
+// the hazard.
+func TestGapBreaksInterlock(t *testing.T) {
+	tr := &trace.Trace{Events: []trace.Event{
+		ev(trace.Read, 0x100, 0),
+		ev(trace.Write, 0x100, 0),
+		ev(trace.Read, 0x104, 1), // one ALU op between store and load
+	}}
+	s, err := Evaluate(Config{Org: SimpleWriteBack, Cache: wbCfg()}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.InterlockStalls != 0 {
+		t.Errorf("interlocks = %d despite a gap", s.InterlockStalls)
+	}
+}
+
+// TestDelayedWriteDrain: a read miss right after a store forces a
+// one-cycle drain of the delayed-write register.
+func TestDelayedWriteDrain(t *testing.T) {
+	tr := &trace.Trace{Events: []trace.Event{
+		ev(trace.Read, 0x100, 0),
+		ev(trace.Write, 0x100, 0),
+		ev(trace.Read, 0x4000, 0), // miss: refill must wait for drain
+	}}
+	s, err := Evaluate(Config{Org: DelayedWriteBack, Cache: wbCfg(), MissPenalty: 10}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DrainStalls != 1 {
+		t.Errorf("drain stalls = %d, want 1", s.DrainStalls)
+	}
+	if s.MissStalls != 20 { // two read misses x 10
+		t.Errorf("miss stalls = %d, want 20", s.MissStalls)
+	}
+}
+
+// TestDelayedWriteNoDrainOnHit: read hits proceed without draining.
+func TestDelayedWriteNoDrainOnHit(t *testing.T) {
+	tr := &trace.Trace{Events: []trace.Event{
+		ev(trace.Read, 0x100, 0),
+		ev(trace.Write, 0x100, 0),
+		ev(trace.Read, 0x104, 0), // hit
+	}}
+	s, err := Evaluate(Config{Org: DelayedWriteBack, Cache: wbCfg()}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DrainStalls != 0 {
+		t.Errorf("drain stalls = %d on a read hit", s.DrainStalls)
+	}
+}
+
+func TestCPIAndStoreCost(t *testing.T) {
+	var s Stats
+	if s.CPI() != 0 || s.StoreCost() != 0 {
+		t.Error("zero stats must not divide by zero")
+	}
+	s = Stats{Instructions: 100, Stores: 10, InterlockStalls: 5, MissStalls: 15}
+	if got := s.CPI(); got != 1.2 {
+		t.Errorf("CPI = %v, want 1.2", got)
+	}
+	if got := s.StoreCost(); got != 0.5 {
+		t.Errorf("StoreCost = %v, want 0.5", got)
+	}
+}
+
+func TestWriteBufferStallsOnlyForWriteThrough(t *testing.T) {
+	// A long, dense store burst into a slow write buffer.
+	tr := &trace.Trace{}
+	for i := 0; i < 100; i++ {
+		tr.Append(ev(trace.Write, uint32(i*64), 0))
+	}
+	wbc := &writebuffer.Config{Entries: 2, LineSize: 16, RetireInterval: 40}
+	wt, err := Evaluate(Config{Org: DirectMappedWriteThrough, Cache: wtCfg(), WriteBuffer: wbc}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wt.WriteBufferStalls == 0 {
+		t.Error("write-through organization recorded no write-buffer stalls")
+	}
+	wb, err := Evaluate(Config{Org: SimpleWriteBack, Cache: wbCfg(), WriteBuffer: wbc}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wb.WriteBufferStalls != 0 {
+		t.Error("write-back organization charged write-buffer stalls")
+	}
+}
+
+// TestOrganizationOrdering: on a store-dense trace, the one-cycle-store
+// organizations must not have higher store cost than SimpleWriteBack.
+func TestOrganizationOrdering(t *testing.T) {
+	tr := &trace.Trace{}
+	for i := 0; i < 2000; i++ {
+		a := uint32((i % 61) * 8)
+		tr.Append(ev(trace.Write, a, 0))
+		tr.Append(ev(trace.Read, a, 0))
+	}
+	cost := map[Organization]float64{}
+	for _, org := range Organizations() {
+		cc := wbCfg()
+		if org == DirectMappedWriteThrough {
+			cc = wtCfg()
+		}
+		s, err := Evaluate(Config{Org: org, Cache: cc, MissPenalty: 0}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost[org] = s.StoreCost()
+	}
+	if cost[DirectMappedWriteThrough] != 0 {
+		t.Errorf("WT store cost = %v, want 0", cost[DirectMappedWriteThrough])
+	}
+	if cost[SimpleWriteBack] <= cost[DelayedWriteBack] {
+		t.Errorf("delayed write register did not help: simple=%v delayed=%v",
+			cost[SimpleWriteBack], cost[DelayedWriteBack])
+	}
+}

@@ -1,0 +1,29 @@
+package reuse_test
+
+import (
+	"fmt"
+
+	"cachewrite/internal/reuse"
+	"cachewrite/internal/trace"
+)
+
+// Example predicts the writes-to-dirty fraction (Figs 1-2) from a
+// single profiling pass: the write to A survives in caches of more
+// than two lines.
+func Example() {
+	t := &trace.Trace{Events: []trace.Event{
+		{Addr: 0x000, Size: 4, Kind: trace.Write}, // write A
+		{Addr: 0x100, Size: 4, Kind: trace.Read},  // touch B
+		{Addr: 0x200, Size: 4, Kind: trace.Read},  // touch C
+		{Addr: 0x000, Size: 4, Kind: trace.Write}, // rewrite A (depth 2)
+	}}
+	p, err := reuse.Analyze(t, 16)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("2-line cache:  %.0f%% of writes hit dirty\n", 100*p.PredictDirtyFraction(2))
+	fmt.Printf("4-line cache:  %.0f%% of writes hit dirty\n", 100*p.PredictDirtyFraction(4))
+	// Output:
+	// 2-line cache:  0% of writes hit dirty
+	// 4-line cache:  50% of writes hit dirty
+}

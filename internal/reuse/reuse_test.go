@@ -1,0 +1,188 @@
+package reuse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cachewrite/internal/cache"
+	"cachewrite/internal/trace"
+)
+
+func w(addr uint32) trace.Event { return trace.Event{Addr: addr, Size: 4, Kind: trace.Write} }
+func r(addr uint32) trace.Event { return trace.Event{Addr: addr, Size: 4, Kind: trace.Read} }
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(&trace.Trace{}, 0); err == nil {
+		t.Error("zero line size accepted")
+	}
+	if _, err := Analyze(&trace.Trace{}, 12); err == nil {
+		t.Error("non-pow2 line size accepted")
+	}
+}
+
+func TestColdWrites(t *testing.T) {
+	tr := &trace.Trace{Events: []trace.Event{w(0x00), w(0x10), w(0x20)}}
+	p, err := Analyze(tr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Writes != 3 || p.Cold != 3 {
+		t.Errorf("writes=%d cold=%d, want 3/3", p.Writes, p.Cold)
+	}
+	if f := p.PredictDirtyFraction(1024); f != 0 {
+		t.Errorf("cold-only trace predicts %v dirty", f)
+	}
+}
+
+func TestImmediateRewrite(t *testing.T) {
+	tr := &trace.Trace{Events: []trace.Event{w(0x00), w(0x04)}} // same 16B line
+	p, err := Analyze(tr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Samples[0] != 1 {
+		t.Errorf("immediate rewrite not in bucket 0: %v", p.Samples)
+	}
+	if f := p.PredictDirtyFraction(1); f != 0.5 {
+		t.Errorf("predict(1 line) = %v, want 0.5", f)
+	}
+}
+
+func TestInterimDepthCounts(t *testing.T) {
+	// Write A, touch 2 other lines, write A again: max depth 2, so A
+	// stays dirty only in caches of >2 lines (capacity 4 is the next
+	// power of two the histogram resolves).
+	tr := &trace.Trace{Events: []trace.Event{
+		w(0x00), r(0x10), r(0x20), w(0x00),
+	}}
+	p, err := Analyze(tr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Writes != 2 || p.Cold != 1 {
+		t.Fatalf("writes=%d cold=%d", p.Writes, p.Cold)
+	}
+	if p.Samples[2] != 1 { // depth 2 -> bucket [2,4)
+		t.Errorf("samples = %v, want depth-2 in bucket 2", p.Samples)
+	}
+	if f := p.PredictDirtyFraction(2); f != 0 {
+		t.Errorf("predict(2) = %v, want 0 (depth 2 means evicted at capacity 2)", f)
+	}
+	if f := p.PredictDirtyFraction(4); f != 0.5 {
+		t.Errorf("predict(4) = %v, want 0.5", f)
+	}
+}
+
+func TestInterimEvictionDetected(t *testing.T) {
+	// A deep excursion between touches: write A, 4 distinct reads, read
+	// A (pull back), write A. The final reuse distance at the write is
+	// 0, but the interim depth was 4 — in a 4-line cache A was evicted,
+	// so the write must not predict dirty at capacity 4.
+	tr := &trace.Trace{Events: []trace.Event{
+		w(0x00),
+		r(0x10), r(0x20), r(0x30), r(0x40),
+		r(0x00),
+		w(0x00),
+	}}
+	p, err := Analyze(tr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := p.PredictDirtyFraction(4); f != 0 {
+		t.Errorf("predict(4) = %v, want 0 (interim eviction)", f)
+	}
+	if f := p.PredictDirtyFraction(8); f != 0.5 {
+		t.Errorf("predict(8) = %v, want 0.5", f)
+	}
+}
+
+// TestPredictionMatchesFullyAssociativeSimulation: on random traces,
+// the profile's prediction must equal the simulator's measured
+// writes-to-dirty fraction for fully-associative LRU write-back caches
+// of power-of-two capacities. This pins the analytical model to the
+// functional simulator.
+func TestPredictionMatchesFullyAssociativeSimulation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &trace.Trace{}
+		hot := make([]uint32, 24)
+		for i := range hot {
+			hot[i] = uint32(rng.Intn(1<<12)) &^ 3
+		}
+		for i := 0; i < 3000; i++ {
+			addr := hot[rng.Intn(len(hot))]
+			if rng.Intn(4) == 0 {
+				addr = uint32(rng.Intn(1<<14)) &^ 3
+			}
+			k := trace.Read
+			if rng.Intn(2) == 0 {
+				k = trace.Write
+			}
+			tr.Append(trace.Event{Addr: addr, Size: 4, Kind: k})
+		}
+		p, err := Analyze(tr, 16)
+		if err != nil {
+			return false
+		}
+		for _, lines := range []int{4, 16, 64} {
+			cfg := cache.Config{Size: lines * 16, LineSize: 16, Assoc: lines,
+				WriteHit: cache.WriteBack, WriteMiss: cache.FetchOnWrite}
+			c := cache.MustNew(cfg)
+			c.AccessTrace(tr)
+			measured := c.Stats().WritesToDirtyFraction()
+			predicted := p.PredictDirtyFraction(lines)
+			if diff := measured - predicted; diff > 1e-12 || diff < -1e-12 {
+				t.Logf("seed %d lines %d: measured %v predicted %v", seed, lines, measured, predicted)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictMonotone(t *testing.T) {
+	tr := &trace.Trace{}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		tr.Append(trace.Event{Addr: uint32(rng.Intn(1<<12)) &^ 3, Size: 4, Kind: trace.Write})
+	}
+	p, err := Analyze(tr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for lines := 1; lines <= 1<<12; lines *= 2 {
+		f := p.PredictDirtyFraction(lines)
+		if f < prev {
+			t.Fatalf("prediction not monotone at %d lines: %v < %v", lines, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestMeanDepth(t *testing.T) {
+	var p Profile
+	if p.MeanDepth() != 0 {
+		t.Error("empty profile mean not zero")
+	}
+	p.Samples = make([]uint64, 33)
+	p.Samples[0] = 10 // all immediate rewrites
+	if p.MeanDepth() != 0 {
+		t.Errorf("mean of bucket-0 = %v", p.MeanDepth())
+	}
+	p.Samples[3] = 10 // [4,8) midpoint 6
+	if m := p.MeanDepth(); m != 3 {
+		t.Errorf("mean = %v, want 3 (half at 0, half at 6)", m)
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	p := &Profile{Writes: 5, Samples: make([]uint64, 33)}
+	if p.PredictDirtyFraction(0) != 0 {
+		t.Error("zero capacity should predict zero")
+	}
+}

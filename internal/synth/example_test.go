@@ -1,0 +1,24 @@
+package synth_test
+
+import (
+	"fmt"
+
+	"cachewrite/internal/cache"
+	"cachewrite/internal/synth"
+)
+
+// Example demonstrates the block-copy pattern the paper's §4 argues
+// with: under fetch-on-write, half the fetched bytes are destination
+// lines that are immediately overwritten.
+func Example() {
+	t := synth.Copy(0x10000, 0x80000, 1000, 8)
+	c := cache.MustNew(cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1,
+		WriteHit: cache.WriteBack, WriteMiss: cache.FetchOnWrite})
+	c.AccessTrace(t)
+	s := c.Stats()
+	fmt.Printf("fetched %dB to copy %dB\n", s.FetchBytes, 1000*8)
+	fmt.Printf("wasted on destination lines: %dB\n", s.FetchedWriteMisses*16)
+	// Output:
+	// fetched 32000B to copy 8000B
+	// wasted on destination lines: 16000B
+}

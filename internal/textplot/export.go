@@ -1,0 +1,123 @@
+package textplot
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"cachewrite/internal/stats"
+)
+
+// WriteChartCSV writes the chart as CSV: a header row of the X label
+// and series labels, then one row per X value. Missing points are
+// empty cells. The output loads directly into any plotting tool.
+func WriteChartCSV(w io.Writer, c *stats.Chart) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{c.XLabel}, seriesLabels(c)...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, x := range unionX(c) {
+		row := []string{strconv.FormatFloat(x, 'g', -1, 64)}
+		for i := range c.Series {
+			y := c.Series[i].YAt(x)
+			if y != y { // NaN
+				row = append(row, "")
+			} else {
+				row = append(row, strconv.FormatFloat(y, 'g', -1, 64))
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTableCSV writes a stats.Table as CSV.
+func WriteTableCSV(w io.Writer, t *stats.Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderChartMarkdown renders the chart as a GitHub-flavoured Markdown
+// table, suitable for pasting into EXPERIMENTS.md-style documents.
+func RenderChartMarkdown(c *stats.Chart) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "**%s — %s** (y: %s)\n\n", strings.ToUpper(c.ID), c.Title, c.YLabel)
+	header := append([]string{c.XLabel}, seriesLabels(c)...)
+	writeMarkdownRow(&b, header)
+	writeMarkdownRule(&b, len(header))
+	for _, x := range unionX(c) {
+		row := []string{formatX(x, c.XScale)}
+		for i := range c.Series {
+			row = append(row, stats.FmtF(c.Series[i].YAt(x)))
+		}
+		writeMarkdownRow(&b, row)
+	}
+	return b.String()
+}
+
+// RenderTableMarkdown renders a stats.Table as Markdown.
+func RenderTableMarkdown(t *stats.Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "**%s — %s**\n\n", strings.ToUpper(t.ID), t.Title)
+	writeMarkdownRow(&b, t.Columns)
+	writeMarkdownRule(&b, len(t.Columns))
+	for _, row := range t.Rows {
+		writeMarkdownRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeMarkdownRow(b *strings.Builder, cells []string) {
+	b.WriteByte('|')
+	for _, cell := range cells {
+		b.WriteByte(' ')
+		b.WriteString(strings.ReplaceAll(cell, "|", "\\|"))
+		b.WriteString(" |")
+	}
+	b.WriteByte('\n')
+}
+
+func writeMarkdownRule(b *strings.Builder, n int) {
+	b.WriteByte('|')
+	for i := 0; i < n; i++ {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+}
+
+func seriesLabels(c *stats.Chart) []string {
+	labels := make([]string, len(c.Series))
+	for i := range c.Series {
+		labels[i] = c.Series[i].Label
+	}
+	return labels
+}
+
+func unionX(c *stats.Chart) []float64 {
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range c.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	return xs
+}

@@ -1,0 +1,89 @@
+package textplot
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"cachewrite/internal/stats"
+)
+
+func TestWriteChartCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChartCSV(&buf, sampleChart()); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("%d rows, want 3", len(records))
+	}
+	if records[0][0] != "size" || records[0][1] != "alpha" || records[0][2] != "beta" {
+		t.Errorf("header %v", records[0])
+	}
+	if records[1][0] != "1024" || records[1][1] != "10" || records[1][2] != "30" {
+		t.Errorf("row 1 %v", records[1])
+	}
+}
+
+func TestWriteChartCSVSparse(t *testing.T) {
+	c := &stats.Chart{ID: "s", XLabel: "x"}
+	a := stats.Series{Label: "a"}
+	a.Point(1, 5)
+	b := stats.Series{Label: "b"}
+	b.Point(2, 6)
+	c.Add(a)
+	c.Add(b)
+	var buf bytes.Buffer
+	if err := WriteChartCSV(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x=1: a=5, b empty; x=2: a empty, b=6.
+	if records[1][2] != "" || records[2][1] != "" {
+		t.Errorf("sparse cells not empty: %v", records)
+	}
+}
+
+func TestWriteTableCSV(t *testing.T) {
+	tbl := &stats.Table{ID: "t", Columns: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := WriteTableCSV(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 || records[1][1] != "2" {
+		t.Errorf("records %v", records)
+	}
+}
+
+func TestRenderChartMarkdown(t *testing.T) {
+	out := RenderChartMarkdown(sampleChart())
+	for _, want := range []string{"**FIG0 — Sample**", "| size |", "| alpha |", "|---|", "| 1K |", "| 10.000 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTableMarkdown(t *testing.T) {
+	tbl := &stats.Table{ID: "t9", Title: "Pipes", Columns: []string{"name", "note"}}
+	tbl.AddRow("x", "a|b")
+	out := RenderTableMarkdown(tbl)
+	if !strings.Contains(out, `a\|b`) {
+		t.Errorf("pipe not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "**T9 — Pipes**") {
+		t.Errorf("missing title:\n%s", out)
+	}
+}

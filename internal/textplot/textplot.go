@@ -1,0 +1,215 @@
+// Package textplot renders the experiment results (stats.Chart,
+// stats.Table) as plain text: aligned tables of the series values and
+// optional ASCII line plots, suitable for terminals and for diffing in
+// EXPERIMENTS.md.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cachewrite/internal/stats"
+)
+
+// RenderTable renders a stats.Table with aligned columns.
+func RenderTable(t *stats.Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(t.ID), t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	var rule []string
+	for _, w := range widths {
+		rule = append(rule, strings.Repeat("-", w))
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// RenderChart renders a chart as a value grid: one row per X, one
+// column per series.
+func RenderChart(c *stats.Chart) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(c.ID), c.Title)
+	if len(c.Series) == 0 {
+		b.WriteString("(no series)\n")
+		return b.String()
+	}
+
+	// Collect the union of X values in first-seen order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range c.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+
+	tbl := &stats.Table{ID: c.ID, Title: c.Title, Columns: []string{c.XLabel}}
+	for _, s := range c.Series {
+		tbl.Columns = append(tbl.Columns, s.Label)
+	}
+	for _, x := range xs {
+		row := []string{formatX(x, c.XScale)}
+		for _, s := range c.Series {
+			row = append(row, stats.FmtF(s.YAt(x)))
+		}
+		tbl.AddRow(row...)
+	}
+	// Reuse the table renderer minus its own header line.
+	rendered := RenderTable(tbl)
+	if i := strings.IndexByte(rendered, '\n'); i >= 0 {
+		rendered = rendered[i+1:]
+	}
+	fmt.Fprintf(&b, "y: %s\n", c.YLabel)
+	b.WriteString(rendered)
+	return b.String()
+}
+
+// RenderASCIIPlot draws an ASCII line plot of the chart (height rows,
+// width columns), one glyph per series.
+func RenderASCIIPlot(c *stats.Chart, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	glyphs := "*o+x#@%&"
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(c.ID), c.Title)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			x := scaleX(s.X[i], c.XScale)
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return b.String() + "(no data)\n"
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			col := int((scaleX(s.X[i], c.XScale) - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = g
+		}
+	}
+	for r, rowBytes := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.2f ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%7.2f ", minY)
+		}
+		fmt.Fprintf(&b, "%s|%s|\n", label, string(rowBytes))
+	}
+	fmt.Fprintf(&b, "        %s -> %s (%s)\n", formatX(unscaleX(minX, c.XScale), c.XScale),
+		formatX(unscaleX(maxX, c.XScale), c.XScale), c.XLabel)
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "        %c %s\n", glyphs[si%len(glyphs)], s.Label)
+	}
+	return b.String()
+}
+
+func scaleX(x float64, sc stats.Scale) float64 {
+	if sc == stats.Log2 && x > 0 {
+		return math.Log2(x)
+	}
+	return x
+}
+
+func unscaleX(x float64, sc stats.Scale) float64 {
+	if sc == stats.Log2 {
+		return math.Exp2(x)
+	}
+	return x
+}
+
+func formatX(x float64, sc stats.Scale) string {
+	if sc == stats.Log2 && x >= 1024 && math.Mod(x, 1024) == 0 {
+		return fmt.Sprintf("%gK", x/1024)
+	}
+	if x == math.Trunc(x) {
+		return fmt.Sprintf("%g", x)
+	}
+	return fmt.Sprintf("%.2f", x)
+}
+
+// RenderHistogram renders labelled counts as a horizontal bar chart,
+// scaled to width characters for the largest bucket.
+func RenderHistogram(title string, labels []string, counts []uint64, width int) string {
+	if width < 8 {
+		width = 8
+	}
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	if len(labels) != len(counts) {
+		b.WriteString("(label/count mismatch)\n")
+		return b.String()
+	}
+	var maxCount uint64
+	maxLabel := 0
+	for i, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	if maxCount == 0 {
+		b.WriteString("(empty)\n")
+		return b.String()
+	}
+	for i, c := range counts {
+		bar := int(uint64(width) * c / maxCount)
+		if c > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%-*s |%s %d\n", maxLabel, labels[i], strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,157 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+
+	"cachewrite/internal/stats"
+)
+
+func sampleChart() *stats.Chart {
+	c := &stats.Chart{ID: "fig0", Title: "Sample", XLabel: "size", YLabel: "pct", XScale: stats.Log2}
+	a := stats.Series{Label: "alpha"}
+	a.Point(1024, 10)
+	a.Point(2048, 20)
+	b := stats.Series{Label: "beta"}
+	b.Point(1024, 30)
+	b.Point(2048, 40)
+	c.Add(a)
+	c.Add(b)
+	return c
+}
+
+func TestRenderTable(t *testing.T) {
+	tbl := &stats.Table{ID: "t1", Title: "Things", Columns: []string{"name", "value"}}
+	tbl.AddRow("short", "1")
+	tbl.AddRow("much-longer-name", "22")
+	out := RenderTable(tbl)
+	if !strings.Contains(out, "T1 — Things") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "much-longer-name") || !strings.Contains(out, "22") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + columns + rule + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: every data line has the same prefix width before
+	// the second column.
+	idx := strings.Index(lines[1], "value")
+	for _, ln := range lines[3:] {
+		if len(ln) <= idx {
+			t.Errorf("row too short for aligned columns: %q", ln)
+		}
+	}
+}
+
+func TestRenderChart(t *testing.T) {
+	out := RenderChart(sampleChart())
+	for _, want := range []string{"FIG0", "alpha", "beta", "10.000", "40.000", "1K", "2K", "y: pct"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderChartEmpty(t *testing.T) {
+	out := RenderChart(&stats.Chart{ID: "e", Title: "Empty"})
+	if !strings.Contains(out, "no series") {
+		t.Errorf("empty chart output: %s", out)
+	}
+}
+
+func TestRenderChartSparseSeries(t *testing.T) {
+	c := &stats.Chart{ID: "s", Title: "Sparse", XLabel: "x"}
+	a := stats.Series{Label: "a"}
+	a.Point(1, 1)
+	b := stats.Series{Label: "b"}
+	b.Point(2, 2)
+	c.Add(a)
+	c.Add(b)
+	out := RenderChart(c)
+	// Missing points render as "-".
+	if !strings.Contains(out, "-") {
+		t.Errorf("sparse chart should show dashes:\n%s", out)
+	}
+}
+
+func TestRenderASCIIPlot(t *testing.T) {
+	out := RenderASCIIPlot(sampleChart(), 40, 10)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("plot missing glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Errorf("plot missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "40.00") || !strings.Contains(out, "10.00") {
+		t.Errorf("plot missing Y bounds:\n%s", out)
+	}
+}
+
+func TestRenderASCIIPlotNoData(t *testing.T) {
+	out := RenderASCIIPlot(&stats.Chart{ID: "n", Title: "None"}, 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("no-data plot output: %s", out)
+	}
+}
+
+func TestRenderASCIIPlotDegenerate(t *testing.T) {
+	// A single point (zero X and Y range) must not divide by zero.
+	c := &stats.Chart{ID: "d", Title: "Dot"}
+	s := stats.Series{Label: "only"}
+	s.Point(5, 5)
+	c.Add(s)
+	out := RenderASCIIPlot(c, 1, 1) // also exercises minimum clamps
+	if out == "" {
+		t.Fatal("no output")
+	}
+}
+
+func TestFormatX(t *testing.T) {
+	if got := formatX(4096, stats.Log2); got != "4K" {
+		t.Errorf("formatX(4096) = %q", got)
+	}
+	if got := formatX(16, stats.Log2); got != "16" {
+		t.Errorf("formatX(16) = %q", got)
+	}
+	if got := formatX(2.5, stats.Linear); got != "2.50" {
+		t.Errorf("formatX(2.5) = %q", got)
+	}
+}
+
+func TestRenderHistogram(t *testing.T) {
+	out := RenderHistogram("bursts", []string{"1", "2", "3-4"}, []uint64{10, 5, 0}, 20)
+	if !strings.Contains(out, "bursts") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	// Largest bucket gets the full width; half-size bucket gets half.
+	if !strings.Contains(lines[1], strings.Repeat("#", 20)) {
+		t.Errorf("max bar wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], strings.Repeat("#", 10)) {
+		t.Errorf("half bar wrong: %q", lines[2])
+	}
+	if strings.Contains(lines[3], "#") {
+		t.Errorf("zero bucket has a bar: %q", lines[3])
+	}
+}
+
+func TestRenderHistogramEdgeCases(t *testing.T) {
+	if out := RenderHistogram("t", []string{"a"}, []uint64{0}, 10); !strings.Contains(out, "empty") {
+		t.Error("all-zero histogram not flagged")
+	}
+	if out := RenderHistogram("t", []string{"a", "b"}, []uint64{1}, 10); !strings.Contains(out, "mismatch") {
+		t.Error("mismatch not flagged")
+	}
+	// A tiny non-zero count still draws at least one mark.
+	out := RenderHistogram("t", []string{"a", "b"}, []uint64{1000, 1}, 2)
+	if !strings.Contains(out, "# 1\n") {
+		t.Errorf("tiny bucket invisible:\n%s", out)
+	}
+}

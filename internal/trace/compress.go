@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bufio"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// Compressed trace format: magic "CWTZ" followed by a DEFLATE stream
+// whose decompressed payload is a complete CWT1 binary trace. Long
+// traces are highly compressible (delta-encoded sequential runs), so
+// this typically shrinks files another 2-4x.
+
+var magicZ = [4]byte{'C', 'W', 'T', 'Z'}
+
+// WriteBinaryCompressed encodes the trace as a flate-compressed CWT1
+// stream.
+func WriteBinaryCompressed(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magicZ[:]); err != nil {
+		return err
+	}
+	fw, err := flate.NewWriter(bw, flate.DefaultCompression)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(fw, t); err != nil {
+		return err
+	}
+	if err := fw.Close(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinaryCompressed decodes a CWTZ stream.
+func ReadBinaryCompressed(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, err
+	}
+	if m != magicZ {
+		return nil, fmt.Errorf("trace: bad magic (not a CWTZ compressed trace)")
+	}
+	fr := flate.NewReader(br)
+	defer fr.Close()
+	return ReadBinary(fr)
+}
+
+// ReadAuto decodes a trace in any of the three formats (CWT1 binary,
+// CWTZ compressed, text), sniffing the leading bytes.
+func ReadAuto(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil && len(head) < 1 {
+		return nil, fmt.Errorf("trace: empty input: %w", err)
+	}
+	switch {
+	case len(head) >= 4 && [4]byte(head) == magic:
+		return ReadBinary(br)
+	case len(head) >= 4 && [4]byte(head) == magicZ:
+		return ReadBinaryCompressed(br)
+	default:
+		return ReadText(br)
+	}
+}

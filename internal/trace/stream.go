@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Streaming codec: process traces without holding them in memory. The
+// on-disk format is identical to WriteBinary/ReadBinary (CWT1), so
+// files are interchangeable between the streaming and in-memory APIs.
+
+// StreamBinary decodes a CWT1 stream, invoking fn for every event in
+// order. fn returning an error stops the scan and returns that error.
+// The trace name is passed to fn via the returned name value.
+func StreamBinary(r io.Reader, fn func(Event) error) (name string, events uint64, err error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return "", 0, err
+	}
+	if m != magic {
+		return "", 0, ErrBadMagic
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", 0, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > 1<<16 {
+		return "", 0, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	nameBytes := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBytes); err != nil {
+		return "", 0, fmt.Errorf("trace: reading name: %w", err)
+	}
+	name = string(nameBytes)
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return name, 0, fmt.Errorf("trace: reading event count: %w", err)
+	}
+	prev := uint32(0)
+	for i := uint64(0); i < count; i++ {
+		e, newPrev, err := decodeEvent(br, prev, i)
+		if err != nil {
+			return name, i, err
+		}
+		prev = newPrev
+		if err := fn(e); err != nil {
+			return name, i + 1, err
+		}
+	}
+	return name, count, nil
+}
+
+// decodeEvent reads one event given the previous address (for delta
+// decoding); it is shared by ReadBinary and StreamBinary.
+func decodeEvent(br *bufio.Reader, prev uint32, i uint64) (Event, uint32, error) {
+	tag, err := br.ReadByte()
+	if err != nil {
+		return Event{}, prev, fmt.Errorf("trace: event %d tag: %w", i, err)
+	}
+	var e Event
+	if tag&tagKindWrite != 0 {
+		e.Kind = Write
+	}
+	e.Size = 1 << ((tag & tagSizeMask) >> tagSizeShift)
+	if tag&tagDelta != 0 {
+		d, err := binary.ReadVarint(br)
+		if err != nil {
+			return Event{}, prev, fmt.Errorf("trace: event %d delta: %w", i, err)
+		}
+		e.Addr = uint32(int64(prev) + d)
+	} else {
+		a, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Event{}, prev, fmt.Errorf("trace: event %d addr: %w", i, err)
+		}
+		if a > uint64(^uint32(0)) {
+			return Event{}, prev, fmt.Errorf("trace: event %d address 0x%x exceeds 32 bits", i, a)
+		}
+		e.Addr = uint32(a)
+	}
+	if tag&tagHasGap != 0 {
+		g, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Event{}, prev, fmt.Errorf("trace: event %d gap: %w", i, err)
+		}
+		if g > 0xffff {
+			return Event{}, prev, fmt.Errorf("trace: event %d gap %d exceeds 16 bits", i, g)
+		}
+		e.Gap = uint16(g)
+	}
+	return e, e.Addr, nil
+}
+
+// StreamWriter emits a CWT1 stream incrementally: events are appended
+// one at a time and the (count-prefixed) header is finalized by Close.
+// Because the CWT1 header carries an event count, the writer buffers
+// encoded events and emits everything on Close; the buffering is the
+// encoded (compact) form, roughly 2-4 bytes per event, so a
+// hundred-million-event trace streams in a few hundred MB rather than
+// the multi-GB expanded form.
+type StreamWriter struct {
+	dst   io.Writer
+	name  string
+	buf   []byte
+	count uint64
+	prev  uint32
+	done  bool
+}
+
+// NewStreamWriter starts a stream with the given trace name.
+func NewStreamWriter(dst io.Writer, name string) *StreamWriter {
+	return &StreamWriter{dst: dst, name: name}
+}
+
+// Append encodes one event.
+func (w *StreamWriter) Append(e Event) error {
+	if w.done {
+		return fmt.Errorf("trace: append after Close")
+	}
+	tag := byte(0)
+	if e.Kind == Write {
+		tag |= tagKindWrite
+	}
+	l2, ok := log2u8(e.Size)
+	if !ok {
+		return fmt.Errorf("trace: event %d has non-power-of-two size %d", w.count, e.Size)
+	}
+	tag |= l2 << tagSizeShift
+	if e.Gap != 0 {
+		tag |= tagHasGap
+	}
+	delta := int64(e.Addr) - int64(w.prev)
+	useDelta := w.count > 0 && delta < 1<<20 && delta > -(1<<20)
+	if useDelta {
+		tag |= tagDelta
+	}
+	w.buf = append(w.buf, tag)
+	var tmp [binary.MaxVarintLen64]byte
+	if useDelta {
+		n := binary.PutVarint(tmp[:], delta)
+		w.buf = append(w.buf, tmp[:n]...)
+	} else {
+		n := binary.PutUvarint(tmp[:], uint64(e.Addr))
+		w.buf = append(w.buf, tmp[:n]...)
+	}
+	if e.Gap != 0 {
+		n := binary.PutUvarint(tmp[:], uint64(e.Gap))
+		w.buf = append(w.buf, tmp[:n]...)
+	}
+	w.prev = e.Addr
+	w.count++
+	return nil
+}
+
+// Close writes the header and the buffered event stream.
+func (w *StreamWriter) Close() error {
+	if w.done {
+		return fmt.Errorf("trace: double Close")
+	}
+	w.done = true
+	bw := bufio.NewWriter(w.dst)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(w.name)))
+	if _, err := bw.Write(tmp[:n]); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(w.name); err != nil {
+		return err
+	}
+	n = binary.PutUvarint(tmp[:], w.count)
+	if _, err := bw.Write(tmp[:n]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(w.buf); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestStreamWriterRoundTrip(t *testing.T) {
+	tr := testTrace()
+	var buf bytes.Buffer
+	w := NewStreamWriter(&buf, tr.Name)
+	for _, e := range tr.Events {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The stream is a valid CWT1 file readable by the in-memory decoder.
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || !reflect.DeepEqual(got.Events, tr.Events) {
+		t.Fatal("stream writer round trip mismatch")
+	}
+}
+
+func TestStreamWriterMatchesWriteBinary(t *testing.T) {
+	tr := testTrace()
+	var a, b bytes.Buffer
+	if err := WriteBinary(&a, tr); err != nil {
+		t.Fatal(err)
+	}
+	w := NewStreamWriter(&b, tr.Name)
+	for _, e := range tr.Events {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("stream writer output differs from WriteBinary (formats must be identical)")
+	}
+}
+
+func TestStreamWriterErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewStreamWriter(&buf, "x")
+	if err := w.Append(Event{Addr: 0, Size: 6, Kind: Read}); err == nil {
+		t.Error("non-power-of-two size accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Event{Addr: 0, Size: 4, Kind: Read}); err == nil {
+		t.Error("append after Close accepted")
+	}
+	if err := w.Close(); err == nil {
+		t.Error("double Close accepted")
+	}
+}
+
+func TestStreamBinary(t *testing.T) {
+	tr := testTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var got []Event
+	name, n, err := StreamBinary(&buf, func(e Event) error {
+		got = append(got, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != tr.Name || n != uint64(tr.Len()) {
+		t.Errorf("name=%q n=%d", name, n)
+	}
+	if !reflect.DeepEqual(got, tr.Events) {
+		t.Error("streamed events differ")
+	}
+}
+
+func TestStreamBinaryEarlyStop(t *testing.T) {
+	tr := testTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("stop")
+	count := 0
+	_, n, err := StreamBinary(&buf, func(e Event) error {
+		count++
+		if count == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if n != 2 {
+		t.Errorf("processed %d events before stop, want 2", n)
+	}
+}
+
+func TestStreamBinaryBadInput(t *testing.T) {
+	if _, _, err := StreamBinary(bytes.NewReader([]byte("XXXX")), func(Event) error { return nil }); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, _, err := StreamBinary(bytes.NewReader(nil), func(Event) error { return nil }); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+// TestStreamLargeTraceConstantMemory is a smoke check that the
+// streaming reader handles a large trace built by the streaming writer.
+func TestStreamLargeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewStreamWriter(&buf, "big")
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		if err := w.Append(Event{Addr: uint32(i * 8), Size: 8, Kind: Write}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var count uint64
+	_, total, err := StreamBinary(&buf, func(e Event) error {
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n || total != n {
+		t.Errorf("streamed %d/%d events", count, total)
+	}
+}

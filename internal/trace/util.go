@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Concat joins traces end to end under a new name. Gaps are preserved;
+// the instruction streams simply follow one another, as when one
+// program phase follows another.
+func Concat(name string, ts ...*Trace) *Trace {
+	out := &Trace{Name: name}
+	total := 0
+	for _, t := range ts {
+		total += t.Len()
+	}
+	out.Events = make([]Event, 0, total)
+	for _, t := range ts {
+		out.Events = append(out.Events, t.Events...)
+	}
+	return out
+}
+
+// Interleave merges traces by instruction time: events are replayed in
+// global instruction order, modelling independent phases sharing one
+// cache (coarse-grained multiprogramming without address translation).
+// Gaps are recomputed so the merged trace's instruction positions match
+// the union schedule; gaps saturate at the Gap field's capacity.
+func Interleave(name string, ts ...*Trace) *Trace {
+	type cursor struct {
+		t    *Trace
+		i    int
+		when uint64 // instruction time of the event at i
+	}
+	cs := make([]*cursor, 0, len(ts))
+	for _, t := range ts {
+		if t.Len() == 0 {
+			continue
+		}
+		cs = append(cs, &cursor{t: t, when: t.Events[0].Instructions()})
+	}
+	out := &Trace{Name: name}
+	var lastTime uint64
+	for len(cs) > 0 {
+		// Pick the earliest event; ties resolve by input order for
+		// determinism.
+		best := 0
+		for i := 1; i < len(cs); i++ {
+			if cs[i].when < cs[best].when {
+				best = i
+			}
+		}
+		c := cs[best]
+		e := c.t.Events[c.i]
+		gap := uint64(0)
+		if c.when > lastTime {
+			gap = c.when - lastTime - 1
+		}
+		if gap > 0xffff {
+			gap = 0xffff
+		}
+		e.Gap = uint16(gap)
+		out.Append(e)
+		lastTime = c.when
+
+		c.i++
+		if c.i >= c.t.Len() {
+			cs = append(cs[:best], cs[best+1:]...)
+			continue
+		}
+		c.when += c.t.Events[c.i].Instructions()
+	}
+	return out
+}
+
+// Rebase returns a copy of the trace with delta added to every address.
+// It fails if any access would leave the 32-bit address space.
+func Rebase(t *Trace, delta int64) (*Trace, error) {
+	out := &Trace{Name: t.Name, Events: make([]Event, t.Len())}
+	for i, e := range t.Events {
+		a := int64(e.Addr) + delta
+		if a < 0 || a+int64(e.Size) > 1<<32 {
+			return nil, fmt.Errorf("trace: rebased event %d at %#x+%d leaves the address space", i, e.Addr, delta)
+		}
+		e.Addr = uint32(a)
+		out.Events[i] = e
+	}
+	return out, nil
+}
+
+// Region is a contiguous address range [Base, Base+Size) with access
+// counts, produced by Regions.
+type Region struct {
+	Base   uint32
+	Size   uint64
+	Reads  uint64
+	Writes uint64
+}
+
+// Regions clusters the trace's footprint into regions separated by at
+// least gap unused bytes and reports per-region access counts — a
+// data-structure-level view of a workload (stack vs heap vs static, or
+// individual arrays).
+func Regions(t *Trace, gap uint32) []Region {
+	if t.Len() == 0 {
+		return nil
+	}
+	type span struct {
+		lo, hi uint32
+		r, w   uint64
+	}
+	spans := make([]span, 0, t.Len())
+	for _, e := range t.Events {
+		s := span{lo: e.Addr, hi: e.Addr + uint32(e.Size)}
+		if e.Kind == Write {
+			s.w = 1
+		} else {
+			s.r = 1
+		}
+		spans = append(spans, s)
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+
+	var out []Region
+	cur := Region{Base: spans[0].lo}
+	curHi := spans[0].lo
+	flush := func() {
+		cur.Size = uint64(curHi - cur.Base)
+		out = append(out, cur)
+	}
+	for _, s := range spans {
+		if s.lo > curHi && uint64(s.lo-curHi) >= uint64(gap) {
+			flush()
+			cur = Region{Base: s.lo}
+			curHi = s.lo
+		}
+		cur.Reads += s.r
+		cur.Writes += s.w
+		if s.hi > curHi {
+			curHi = s.hi
+		}
+	}
+	flush()
+	return out
+}

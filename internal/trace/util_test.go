@@ -1,0 +1,121 @@
+package trace
+
+import "testing"
+
+func TestConcat(t *testing.T) {
+	a := &Trace{Name: "a", Events: []Event{{Addr: 0, Size: 4, Kind: Read}}}
+	b := &Trace{Name: "b", Events: []Event{{Addr: 8, Size: 4, Kind: Write}}}
+	out := Concat("ab", a, b)
+	if out.Name != "ab" || out.Len() != 2 {
+		t.Fatalf("concat = %q len %d", out.Name, out.Len())
+	}
+	if out.Events[0].Addr != 0 || out.Events[1].Addr != 8 {
+		t.Error("order wrong")
+	}
+	if Concat("empty").Len() != 0 {
+		t.Error("empty concat")
+	}
+}
+
+func TestInterleaveByTime(t *testing.T) {
+	// a's events at instruction times 1, 2; b's at 1.5-ish: b has gap 0
+	// event after a gap-0 event... construct: a = events at t=1, t=2.
+	// b = one event at t=3 (gap 2).
+	a := &Trace{Events: []Event{
+		{Addr: 0x0, Size: 4, Kind: Read}, // t=1
+		{Addr: 0x4, Size: 4, Kind: Read}, // t=2
+	}}
+	b := &Trace{Events: []Event{
+		{Addr: 0x100, Size: 4, Kind: Write, Gap: 2}, // t=3
+	}}
+	out := Interleave("mix", a, b)
+	if out.Len() != 3 {
+		t.Fatalf("len = %d", out.Len())
+	}
+	if out.Events[0].Addr != 0x0 || out.Events[1].Addr != 0x4 || out.Events[2].Addr != 0x100 {
+		t.Fatalf("order: %+v", out.Events)
+	}
+	// Instruction positions preserved: total = 3.
+	if got := out.Stats().Instructions; got != 3 {
+		t.Errorf("instructions = %d, want 3", got)
+	}
+}
+
+func TestInterleaveDeterministicTies(t *testing.T) {
+	a := &Trace{Events: []Event{{Addr: 0x0, Size: 4, Kind: Read}}}
+	b := &Trace{Events: []Event{{Addr: 0x100, Size: 4, Kind: Read}}}
+	out := Interleave("mix", a, b)
+	// Tie at t=1: input order wins.
+	if out.Events[0].Addr != 0x0 {
+		t.Error("tie broken against input order")
+	}
+	if out.Events[1].Gap != 0 {
+		t.Errorf("tied second event gap = %d", out.Events[1].Gap)
+	}
+}
+
+func TestInterleaveEmptyInputs(t *testing.T) {
+	if Interleave("x").Len() != 0 {
+		t.Error("no inputs should give empty trace")
+	}
+	a := &Trace{Events: []Event{{Addr: 0, Size: 4, Kind: Read}}}
+	if Interleave("x", a, &Trace{}).Len() != 1 {
+		t.Error("empty input mishandled")
+	}
+}
+
+func TestRebase(t *testing.T) {
+	a := &Trace{Events: []Event{{Addr: 0x100, Size: 4, Kind: Read}}}
+	out, err := Rebase(a, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Events[0].Addr != 0x1100 {
+		t.Errorf("addr = %#x", out.Events[0].Addr)
+	}
+	// Original untouched.
+	if a.Events[0].Addr != 0x100 {
+		t.Error("Rebase mutated input")
+	}
+	if _, err := Rebase(a, -0x200); err == nil {
+		t.Error("negative wrap accepted")
+	}
+	if _, err := Rebase(a, 1<<32-8); err == nil {
+		t.Error("overflow accepted")
+	}
+}
+
+func TestRegions(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Addr: 0x1000, Size: 4, Kind: Read},
+		{Addr: 0x1004, Size: 4, Kind: Write},
+		{Addr: 0x1008, Size: 8, Kind: Write},
+		{Addr: 0x9000, Size: 4, Kind: Read},
+	}}
+	regions := Regions(tr, 0x100)
+	if len(regions) != 2 {
+		t.Fatalf("%d regions: %+v", len(regions), regions)
+	}
+	r0 := regions[0]
+	if r0.Base != 0x1000 || r0.Size != 16 || r0.Reads != 1 || r0.Writes != 2 {
+		t.Errorf("region 0 = %+v", r0)
+	}
+	r1 := regions[1]
+	if r1.Base != 0x9000 || r1.Reads != 1 || r1.Writes != 0 {
+		t.Errorf("region 1 = %+v", r1)
+	}
+	if Regions(&Trace{}, 16) != nil {
+		t.Error("empty trace should give nil regions")
+	}
+}
+
+func TestRegionsMergesOverlaps(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Addr: 0x100, Size: 8, Kind: Write},
+		{Addr: 0x104, Size: 4, Kind: Read}, // inside previous span
+	}}
+	regions := Regions(tr, 64)
+	if len(regions) != 1 || regions[0].Size != 8 {
+		t.Fatalf("regions = %+v", regions)
+	}
+}

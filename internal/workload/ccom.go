@@ -1,0 +1,541 @@
+package workload
+
+import "cachewrite/internal/memsim"
+
+func init() { register(ccom{}) }
+
+// ccom reproduces the paper's "ccom" benchmark (a C compiler front end)
+// as a real multi-pass mini compiler: source generation, lexing,
+// parsing to an AST arena, constant folding into a second arena, and
+// stack-machine code emission.
+//
+// The property the paper highlights (§4, Fig 14): "write-validate would
+// be useful for a compiler if it has a number of sequential passes,
+// each one reading the data structure written by the last pass and
+// writing a different one." Every pass here reads its predecessor's
+// output arena and writes a fresh one, so most stores target lines that
+// are never read first — exactly the copy-like behaviour that makes
+// ccom one of the two biggest write-validate winners.
+//
+// The source is held one character per 32-bit word: the MultiTitan has
+// no byte loads/stores (paper §2), so a word-oriented representation is
+// the faithful one.
+type ccom struct{}
+
+func (ccom) Name() string { return "ccom" }
+
+func (ccom) Description() string {
+	return "multi-pass mini C compiler: lex, parse, constant-fold, emit stack code"
+}
+
+// Token kinds.
+const (
+	tokEOF = iota
+	tokNum
+	tokIdent
+	tokPlus
+	tokMinus
+	tokStar
+	tokLParen
+	tokRParen
+	tokAssign
+	tokSemi
+)
+
+// AST node ops.
+const (
+	opNum = iota
+	opVar
+	opAdd
+	opSub
+	opMul
+	opAssign
+)
+
+// Emitted instructions.
+const (
+	insPush = iota
+	insLoad
+	insAdd
+	insSub
+	insMul
+	insStore
+)
+
+const (
+	ccomUnits      = 22  // compilation units per unit of scale
+	ccomStmtsPer   = 110 // statements per unit
+	ccomSrcWords   = 1 << 12
+	ccomTokWords   = 1 << 12
+	ccomArenaWords = 1 << 12
+	ccomCodeWords  = 1 << 12
+)
+
+// ccomPool is the number of per-unit buffer sets the compiler cycles
+// through: compilers allocate fresh arenas per translation unit, so the
+// total data footprint grows well past any first-level cache even
+// though each unit's working set is modest.
+const ccomPool = 10
+
+func (ccom) Run(m *memsim.Mem, scale int) {
+	scale = clampScale(scale)
+	r := newRNG(0xcc03)
+
+	type unitBufs struct {
+		src, toks, ast, folded, code memsim.U32Array
+	}
+	pool := make([]unitBufs, ccomPool)
+	for i := range pool {
+		pool[i] = unitBufs{
+			src:    m.NewU32Array(ccomSrcWords),     // source text, one char per word
+			toks:   m.NewU32Array(ccomTokWords * 2), // (kind, value) pairs
+			ast:    m.NewU32Array(ccomArenaWords * 4),
+			folded: m.NewU32Array(ccomArenaWords * 4),
+			code:   m.NewU32Array(ccomCodeWords * 2), // (op, operand) pairs
+		}
+	}
+	syms := m.NewU32Array(64) // symbol table: value per variable
+
+	for unit := 0; unit < scale*ccomUnits; unit++ {
+		b := pool[unit%ccomPool]
+		srcLen := genSource(m, b.src, r)
+		nTok := lex(m, b.src, srcLen, b.toks)
+		p := &ccomParser{m: m, toks: b.toks, nTok: nTok, ast: b.ast}
+		roots := p.parseProgram()
+		semcheck(m, b.ast, p.nNode)
+		nFold := fold(m, b.ast, b.folded, roots, p.nNode)
+		pc := emit(m, b.folded, roots[:nFold], b.code, syms)
+		verify(m, b.code, pc, syms)
+	}
+}
+
+// semcheck is the read-only semantic analysis pass: it walks the AST
+// arena counting uses per variable and checking operator arity, writing
+// nothing (diagnostics accumulate in registers). Real compilers spend a
+// large share of their references in passes like this, which is what
+// tips ccom's load:store ratio above 1 (Table 1).
+func semcheck(m *memsim.Mem, ast memsim.U32Array, nNode int) uint32 {
+	var uses uint32
+	for id := 0; id < nNode && id*4+3 < ast.Len(); id++ {
+		m.Step(3)
+		op := ast.Get(id*4 + 0)
+		switch op {
+		case opVar:
+			uses += ast.Get(id*4+3) + 1
+		case opAdd, opSub, opMul, opAssign:
+			// Check both children exist (reads).
+			l := ast.Get(id*4 + 1)
+			rr := ast.Get(id*4 + 2)
+			if op != opAssign && int(l) < nNode && int(rr) < nNode {
+				m.Step(1)
+				_ = ast.Get(int(l)*4 + 0)
+				_ = ast.Get(int(rr)*4 + 0)
+			}
+		}
+	}
+	return uses
+}
+
+// verify is the read-only output pass: it re-reads the emitted code
+// (as an assembler or listing generator would) and re-executes it with
+// an untraced register stack, cross-checking the symbol table.
+func verify(m *memsim.Mem, code memsim.U32Array, pc int, syms memsim.U32Array) uint32 {
+	var stack [64]uint32
+	sp := 0
+	var last uint32
+	for i := 0; i < pc && 2*i+1 < code.Len(); i++ {
+		m.Step(2)
+		op := code.Get(2 * i)
+		arg := code.Get(2*i + 1)
+		switch op {
+		case insPush:
+			if sp < len(stack) {
+				stack[sp] = arg
+				sp++
+			}
+		case insLoad:
+			if sp < len(stack) {
+				stack[sp] = syms.Get(int(arg % 64))
+				sp++
+			}
+		case insAdd, insSub, insMul:
+			if sp >= 2 {
+				b, a := stack[sp-1], stack[sp-2]
+				sp -= 2
+				switch op {
+				case insAdd:
+					stack[sp] = a + b
+				case insSub:
+					stack[sp] = a - b
+				case insMul:
+					stack[sp] = a * b
+				}
+				sp++
+			}
+		case insStore:
+			if sp >= 1 {
+				sp--
+				last = stack[sp]
+			}
+		}
+	}
+	return last
+}
+
+// genSource writes a deterministic pseudo-C translation unit into src
+// and returns its length in words. Statements look like
+// "a = ( b + 3 ) * c - 7 ;" with single-character identifiers.
+func genSource(m *memsim.Mem, src memsim.U32Array, r *rng) int {
+	pos := 0
+	put := func(c byte) {
+		if pos >= src.Len() {
+			return
+		}
+		m.Step(2)
+		src.Set(pos, uint32(c))
+		pos++
+	}
+	putStr := func(s string) {
+		for i := 0; i < len(s); i++ {
+			put(s[i])
+		}
+	}
+	for s := 0; s < ccomStmtsPer; s++ {
+		put(byte('a' + r.intn(26)))
+		putStr(" = ")
+		genExpr(put, putStr, r, 3)
+		putStr(" ;\n")
+	}
+	put(0)
+	return pos
+}
+
+func genExpr(put func(byte), putStr func(string), r *rng, depth int) {
+	if depth == 0 || r.intn(3) == 0 {
+		if r.intn(2) == 0 {
+			// Number literal, 1-3 digits.
+			n := r.intn(999) + 1
+			if n >= 100 {
+				put(byte('0' + n/100))
+			}
+			if n >= 10 {
+				put(byte('0' + (n/10)%10))
+			}
+			put(byte('0' + n%10))
+		} else {
+			put(byte('a' + r.intn(26)))
+		}
+		return
+	}
+	wrap := r.intn(2) == 0
+	if wrap {
+		putStr("( ")
+	}
+	genExpr(put, putStr, r, depth-1)
+	switch r.intn(3) {
+	case 0:
+		putStr(" + ")
+	case 1:
+		putStr(" - ")
+	default:
+		putStr(" * ")
+	}
+	genExpr(put, putStr, r, depth-1)
+	if wrap {
+		putStr(" )")
+	}
+}
+
+// lex reads the source words and writes (kind, value) token pairs,
+// returning the token count.
+func lex(m *memsim.Mem, src memsim.U32Array, srcLen int, toks memsim.U32Array) int {
+	n := 0
+	emitTok := func(kind, val uint32) {
+		if 2*n+1 >= toks.Len() {
+			return
+		}
+		m.Step(1)
+		toks.Set(2*n, kind)
+		toks.Set(2*n+1, val)
+		n++
+	}
+	i := 0
+	for i < srcLen {
+		m.Step(2)
+		c := src.Get(i)
+		switch {
+		case c == 0:
+			i = srcLen
+		case c == ' ' || c == '\n':
+			i++
+		case c >= '0' && c <= '9':
+			v := uint32(0)
+			for i < srcLen {
+				m.Step(2)
+				d := src.Get(i)
+				if d < '0' || d > '9' {
+					break
+				}
+				v = v*10 + (d - '0')
+				i++
+			}
+			emitTok(tokNum, v)
+		case c >= 'a' && c <= 'z':
+			emitTok(tokIdent, c-'a')
+			i++
+		case c == '+':
+			emitTok(tokPlus, 0)
+			i++
+		case c == '-':
+			emitTok(tokMinus, 0)
+			i++
+		case c == '*':
+			emitTok(tokStar, 0)
+			i++
+		case c == '(':
+			emitTok(tokLParen, 0)
+			i++
+		case c == ')':
+			emitTok(tokRParen, 0)
+			i++
+		case c == '=':
+			emitTok(tokAssign, 0)
+			i++
+		case c == ';':
+			emitTok(tokSemi, 0)
+			i++
+		default:
+			i++
+		}
+	}
+	emitTok(tokEOF, 0)
+	return n
+}
+
+// ccomParser is a recursive-descent parser writing AST nodes
+// (op, lhs, rhs, value) into a traced arena.
+type ccomParser struct {
+	m     *memsim.Mem
+	toks  memsim.U32Array
+	nTok  int
+	pos   int
+	ast   memsim.U32Array
+	nNode int
+}
+
+func (p *ccomParser) peek() uint32 {
+	p.m.Step(1)
+	return p.toks.Get(2 * p.pos)
+}
+
+func (p *ccomParser) val() uint32 {
+	return p.toks.Get(2*p.pos + 1)
+}
+
+func (p *ccomParser) advance() { p.pos++ }
+
+func (p *ccomParser) node(op, lhs, rhs, value uint32) uint32 {
+	id := uint32(p.nNode)
+	if int(id)*4+3 >= p.ast.Len() {
+		return id // arena full; drop silently (bounded workload)
+	}
+	p.m.Step(2)
+	p.ast.Set(int(id)*4+0, op)
+	p.ast.Set(int(id)*4+1, lhs)
+	p.ast.Set(int(id)*4+2, rhs)
+	p.ast.Set(int(id)*4+3, value)
+	p.nNode++
+	return id
+}
+
+// parseProgram parses assignment statements until EOF and returns the
+// root node ids.
+func (p *ccomParser) parseProgram() []uint32 {
+	var roots []uint32
+	for p.pos < p.nTok && p.peek() != tokEOF {
+		if p.peek() != tokIdent {
+			p.advance()
+			continue
+		}
+		name := p.val()
+		p.advance()
+		if p.pos >= p.nTok || p.peek() != tokAssign {
+			continue
+		}
+		p.advance()
+		rhs := p.parseExpr()
+		roots = append(roots, p.node(opAssign, name, rhs, 0))
+		if p.pos < p.nTok && p.peek() == tokSemi {
+			p.advance()
+		}
+	}
+	return roots
+}
+
+// parseExpr handles + and - (left associative).
+func (p *ccomParser) parseExpr() uint32 {
+	lhs := p.parseTerm()
+	for p.pos < p.nTok {
+		switch p.peek() {
+		case tokPlus:
+			p.advance()
+			lhs = p.node(opAdd, lhs, p.parseTerm(), 0)
+		case tokMinus:
+			p.advance()
+			lhs = p.node(opSub, lhs, p.parseTerm(), 0)
+		default:
+			return lhs
+		}
+	}
+	return lhs
+}
+
+// parseTerm handles *.
+func (p *ccomParser) parseTerm() uint32 {
+	lhs := p.parsePrimary()
+	for p.pos < p.nTok && p.peek() == tokStar {
+		p.advance()
+		lhs = p.node(opMul, lhs, p.parsePrimary(), 0)
+	}
+	return lhs
+}
+
+func (p *ccomParser) parsePrimary() uint32 {
+	if p.pos >= p.nTok {
+		return p.node(opNum, 0, 0, 0)
+	}
+	switch p.peek() {
+	case tokNum:
+		v := p.val()
+		p.advance()
+		return p.node(opNum, 0, 0, v)
+	case tokIdent:
+		v := p.val()
+		p.advance()
+		return p.node(opVar, 0, 0, v)
+	case tokLParen:
+		p.advance()
+		e := p.parseExpr()
+		if p.pos < p.nTok && p.peek() == tokRParen {
+			p.advance()
+		}
+		return e
+	default:
+		p.advance()
+		return p.node(opNum, 0, 0, 0)
+	}
+}
+
+// fold copies the AST into a second arena, folding constant sub-trees —
+// the pass that reads one structure and writes another. Returns the
+// number of roots (all roots are preserved).
+func fold(m *memsim.Mem, ast, folded memsim.U32Array, roots []uint32, nNode int) int {
+	// Copy node by node; constant-fold binary ops over two opNum
+	// children. Node ids are preserved so roots stay valid.
+	for id := 0; id < nNode && id*4+3 < folded.Len(); id++ {
+		m.Step(3)
+		op := ast.Get(id*4 + 0)
+		lhs := ast.Get(id*4 + 1)
+		rhs := ast.Get(id*4 + 2)
+		val := ast.Get(id*4 + 3)
+		if op == opAdd || op == opSub || op == opMul {
+			m.Step(2)
+			lop := folded.Get(int(lhs)*4 + 0)
+			rop := folded.Get(int(rhs)*4 + 0)
+			if lop == opNum && rop == opNum {
+				lv := folded.Get(int(lhs)*4 + 3)
+				rv := folded.Get(int(rhs)*4 + 3)
+				switch op {
+				case opAdd:
+					val = lv + rv
+				case opSub:
+					val = lv - rv
+				case opMul:
+					val = lv * rv
+				}
+				op = opNum
+			}
+		}
+		folded.Set(id*4+0, op)
+		folded.Set(id*4+1, lhs)
+		folded.Set(id*4+2, rhs)
+		folded.Set(id*4+3, val)
+	}
+	return len(roots)
+}
+
+// emit walks the folded arena and writes stack-machine code, evaluating
+// it against the symbol table as it goes (so the compiler's output is
+// checked by construction in tests). The evaluation stack lives in
+// traced stack memory — the kind of bursty, high-locality store traffic
+// §3 discusses.
+func emit(m *memsim.Mem, arena memsim.U32Array, roots []uint32, code, syms memsim.U32Array) int {
+	stackBase := m.AllocStack(64*4, 8)
+	pc := 0
+	put := func(op, operand uint32) {
+		if 2*pc+1 >= code.Len() {
+			return
+		}
+		m.Step(1)
+		code.Set(2*pc, op)
+		code.Set(2*pc+1, operand)
+		pc++
+	}
+	sp := 0
+	push := func(v uint32) {
+		if sp < 64 {
+			m.WriteU32(stackBase+uint32(sp)*4, v)
+			sp++
+		}
+	}
+	pop := func() uint32 {
+		if sp == 0 {
+			return 0
+		}
+		sp--
+		return m.ReadU32(stackBase + uint32(sp)*4)
+	}
+
+	var walk func(id uint32)
+	walk = func(id uint32) {
+		if int(id)*4+3 >= arena.Len() {
+			return
+		}
+		m.Step(2)
+		op := arena.Get(int(id)*4 + 0)
+		switch op {
+		case opNum:
+			v := arena.Get(int(id)*4 + 3)
+			put(insPush, v)
+			push(v)
+		case opVar:
+			name := arena.Get(int(id)*4 + 3)
+			put(insLoad, name)
+			push(syms.Get(int(name % 64)))
+		case opAdd, opSub, opMul:
+			walk(arena.Get(int(id)*4 + 1))
+			walk(arena.Get(int(id)*4 + 2))
+			b, a := pop(), pop()
+			switch op {
+			case opAdd:
+				put(insAdd, 0)
+				push(a + b)
+			case opSub:
+				put(insSub, 0)
+				push(a - b)
+			case opMul:
+				put(insMul, 0)
+				push(a * b)
+			}
+		case opAssign:
+			walk(arena.Get(int(id)*4 + 2))
+			name := arena.Get(int(id)*4 + 1)
+			put(insStore, name)
+			syms.Set(int(name%64), pop())
+		}
+	}
+	for _, root := range roots {
+		walk(root)
+	}
+	return pc
+}

@@ -1,0 +1,19 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"cachewrite/internal/workload"
+)
+
+// Example generates a benchmark trace and prints its Table 1 row.
+func Example() {
+	c, err := workload.Characterize("liver", 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d instructions, %d reads, %d writes\n",
+		c.Name, c.Instructions, c.Reads, c.Writes)
+	// Output:
+	// liver: 693129 instructions, 277290 reads, 91128 writes
+}

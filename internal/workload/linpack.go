@@ -1,0 +1,146 @@
+package workload
+
+import "cachewrite/internal/memsim"
+
+func init() { register(linpack{}) }
+
+// linpack reproduces the memory behaviour of the paper's "linpack"
+// benchmark (numeric, 100x100): LU decomposition with partial pivoting
+// whose inner loop is daxpy — y[i] = y[i] + a*x[i] — a unit-stride
+// double-precision read-modify-write over an 80KB matrix.
+//
+// Properties the paper reports and this stand-in preserves:
+//   - the 8KB first-level cache cannot hold the working set, so written
+//     lines are replaced before being written again (Figs 1–2);
+//   - almost every write is preceded by a read of the same word, so
+//     write-validate eliminates few misses (§4, Fig 14: "the inner loop
+//     of linpack, saxpy, loads a matrix row and adds to it another row
+//     multiplied by a scalar; the result is placed into the old row");
+//   - stores are nearly all 8B doubles, so on 8B lines ~100% of dirty
+//     bytes in a victim are dirty (Fig 24).
+type linpack struct{}
+
+func (linpack) Name() string { return "linpack" }
+
+func (linpack) Description() string {
+	return "LU decomposition with partial pivoting of a 100x100 float64 matrix (daxpy inner loop)"
+}
+
+const linpackN = 100
+
+func (linpack) Run(m *memsim.Mem, scale int) {
+	scale = clampScale(scale)
+	r := newRNG(0x11aac)
+
+	// Column-major matrix (Fortran layout, as in the original LINPACK),
+	// plus right-hand side and pivot vector. 100*100*8 = 80KB.
+	a := m.NewF64Array(linpackN * linpackN)
+	b := m.NewF64Array(linpackN)
+	ipvt := m.NewU32Array(linpackN)
+
+	at := func(i, j int) int { return j*linpackN + i } // column-major
+
+	for rep := 0; rep < scale; rep++ {
+		// matgen: fill the matrix (traced writes — the original benchmark
+		// times matrix generation too).
+		for j := 0; j < linpackN; j++ {
+			for i := 0; i < linpackN; i++ {
+				m.Step(3)
+				a.Set(at(i, j), r.f64()-0.5)
+			}
+		}
+		for i := 0; i < linpackN; i++ {
+			m.Step(2)
+			b.Set(i, r.f64())
+		}
+
+		dgefa(m, a, ipvt, linpackN, at)
+		dgesl(m, a, b, ipvt, linpackN, at)
+	}
+}
+
+// dgefa factors the matrix by Gaussian elimination with partial
+// pivoting (LINPACK DGEFA).
+func dgefa(m *memsim.Mem, a memsim.F64Array, ipvt memsim.U32Array, n int, at func(i, j int) int) {
+	for k := 0; k < n-1; k++ {
+		// idamax: find pivot in column k.
+		l := k
+		vmax := abs(a.Get(at(k, k)))
+		for i := k + 1; i < n; i++ {
+			m.Step(3)
+			v := abs(a.Get(at(i, k)))
+			if v > vmax {
+				vmax, l = v, i
+			}
+		}
+		ipvt.Set(k, uint32(l))
+		pivot := a.Get(at(l, k))
+		if pivot == 0 {
+			continue
+		}
+		if l != k {
+			// Swap a[l,k] and a[k,k].
+			t := a.Get(at(l, k))
+			a.Set(at(l, k), a.Get(at(k, k)))
+			a.Set(at(k, k), t)
+		}
+		// Compute multipliers: scale column k below the diagonal.
+		t := -1.0 / a.Get(at(k, k))
+		for i := k + 1; i < n; i++ {
+			m.Step(2)
+			a.Set(at(i, k), a.Get(at(i, k))*t)
+		}
+		// Row elimination with column indexing: daxpy on each column to
+		// the right.
+		for j := k + 1; j < n; j++ {
+			m.Step(2)
+			t := a.Get(at(l, j))
+			if l != k {
+				a.Set(at(l, j), a.Get(at(k, j)))
+				a.Set(at(k, j), t)
+			}
+			// daxpy: a[k+1..n, j] += t * a[k+1..n, k]
+			for i := k + 1; i < n; i++ {
+				m.Step(2)
+				a.Set(at(i, j), a.Get(at(i, j))+t*a.Get(at(i, k)))
+			}
+		}
+	}
+	ipvt.Set(n-1, uint32(n-1))
+}
+
+// dgesl solves the factored system (LINPACK DGESL).
+func dgesl(m *memsim.Mem, a, b memsim.F64Array, ipvt memsim.U32Array, n int, at func(i, j int) int) {
+	// Forward elimination.
+	for k := 0; k < n-1; k++ {
+		l := int(ipvt.Get(k))
+		t := b.Get(l)
+		if l != k {
+			b.Set(l, b.Get(k))
+			b.Set(k, t)
+		}
+		for i := k + 1; i < n; i++ {
+			m.Step(2)
+			b.Set(i, b.Get(i)+t*a.Get(at(i, k)))
+		}
+	}
+	// Back substitution.
+	for k := n - 1; k >= 0; k-- {
+		d := a.Get(at(k, k))
+		if d != 0 {
+			b.Set(k, b.Get(k)/d)
+		}
+		t := -b.Get(k)
+		for i := 0; i < k; i++ {
+			m.Step(2)
+			b.Set(i, b.Get(i)+t*a.Get(at(i, k)))
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,126 @@
+package workload
+
+import "cachewrite/internal/memsim"
+
+func init() { register(met{}) }
+
+// met reproduces the paper's "met" benchmark (the second PC-board CAD
+// tool) as iterative force-directed standard-cell placement: every
+// iteration accumulates spring forces from each net into per-cell force
+// accumulators, then sweeps the cell array applying the displacements.
+//
+// Properties preserved: met is read-heavy (Table 1: 36.4M reads vs
+// 13.8M writes, 2.6:1) — force accumulation reads two positions per pin
+// but writes one accumulator — and has good write locality (Fig 2):
+// accumulators of well-connected cells are written repeatedly within an
+// iteration and the update sweep writes sequentially.
+type met struct{}
+
+func (met) Name() string { return "met" }
+
+func (met) Description() string {
+	return "force-directed standard-cell placement over a netlist (accumulate/apply sweeps)"
+}
+
+const (
+	metCells = 640
+	metNets  = 1100
+	metIters = 40 // placement iterations per unit of scale
+)
+
+func (met) Run(m *memsim.Mem, scale int) {
+	scale = clampScale(scale)
+	r := newRNG(0x3e70)
+
+	// Cell positions as fixed-point u32 pairs (x, y): 1500*8B = 12KB.
+	posX := m.NewU32Array(metCells)
+	posY := m.NewU32Array(metCells)
+	// Force accumulators: 12KB.
+	forceX := m.NewU32Array(metCells)
+	forceY := m.NewU32Array(metCells)
+	// Netlist: each net is a (cellA, cellB) two-pin connection.
+	netA := m.NewU32Array(metNets)
+	netB := m.NewU32Array(metNets)
+	// Per-iteration placement snapshots, written round-robin and read
+	// back only by the (much later) detailed-placement stage -- i.e.
+	// write-only at this timescale.
+	const snapBufs = 48
+	snaps := make([]memsim.U32Array, snapBufs)
+	for i := range snaps {
+		snaps[i] = m.NewU32Array(metCells)
+	}
+
+	// Initial random placement and netlist with locality: most nets
+	// connect nearby cell indices (real netlists are locality-rich).
+	for i := 0; i < metCells; i++ {
+		m.Step(2)
+		posX.Set(i, uint32(r.intn(1<<16)))
+		posY.Set(i, uint32(r.intn(1<<16)))
+	}
+	for i := 0; i < metNets; i++ {
+		m.Step(3)
+		a := r.intn(metCells)
+		b := a + r.intn(32) - 16
+		if r.intn(8) == 0 {
+			b = r.intn(metCells) // occasional long-distance net
+		}
+		if b < 0 {
+			b = 0
+		}
+		if b >= metCells {
+			b = metCells - 1
+		}
+		netA.Set(i, uint32(a))
+		netB.Set(i, uint32(b))
+	}
+
+	for iter := 0; iter < scale*metIters; iter++ {
+		// Zero the accumulators (sequential writes).
+		for i := 0; i < metCells; i++ {
+			m.Step(1)
+			forceX.Set(i, 0)
+			forceY.Set(i, 0)
+		}
+		// Accumulate: for each net read both endpoints' positions and
+		// add the displacement into both accumulators (read-heavy,
+		// write-locality-rich RMW). Forces are signed values carried in
+		// uint32 words.
+		for n := 0; n < metNets; n++ {
+			m.Step(4)
+			a := int(netA.Get(n))
+			b := int(netB.Get(n))
+			ax, ay := int32(posX.Get(a)), int32(posY.Get(a))
+			bx, by := int32(posX.Get(b)), int32(posY.Get(b))
+			dx := (bx - ax) / 4
+			dy := (by - ay) / 4
+			forceX.Set(a, uint32(int32(forceX.Get(a))+dx))
+			forceY.Set(a, uint32(int32(forceY.Get(a))+dy))
+			forceX.Set(b, uint32(int32(forceX.Get(b))-dx))
+			forceY.Set(b, uint32(int32(forceY.Get(b))-dy))
+		}
+		// Apply: sweep the cells, moving each toward its force centroid.
+		for i := 0; i < metCells; i++ {
+			m.Step(3)
+			posX.Set(i, uint32(int32(posX.Get(i))+int32(forceX.Get(i))/8))
+			posY.Set(i, uint32(int32(posY.Get(i))+int32(forceY.Get(i))/8))
+		}
+		// Evaluate: total wirelength of the new placement (read-only
+		// sweep over the netlist and positions).
+		var wl int64
+		for n := 0; n < metNets; n++ {
+			m.Step(4)
+			a := int(netA.Get(n))
+			b := int(netB.Get(n))
+			dx := int64(int32(posX.Get(b)) - int32(posX.Get(a)))
+			dy := int64(int32(posY.Get(b)) - int32(posY.Get(a)))
+			wl += dx*dx + dy*dy
+		}
+		// Snapshot the placement for the reporting stage (write-only).
+		snap := snaps[iter%snapBufs]
+		for i := 0; i < metCells; i++ {
+			m.Step(1)
+			snap.Set(i, posX.Get(i)<<16|posY.Get(i)&0xffff)
+		}
+		_ = wl
+	}
+}

@@ -1,0 +1,239 @@
+package workload
+
+import "cachewrite/internal/memsim"
+
+func init() { register(yaccWL{}) }
+
+// yaccWL reproduces the paper's "yacc" benchmark as the thing yacc
+// actually spends its time being: a table-driven LR parser. The SLR
+// parse tables for the classic expression grammar
+//
+//	E -> E + T | T
+//	T -> T * F | F
+//	F -> ( E ) | id
+//
+// live in traced static memory and are consulted on every token; the
+// state and value stacks live in traced stack memory.
+//
+// Property preserved (paper §3, Fig 2): yacc has very good write
+// locality — ≥80% of its write traffic is removed by a write-back
+// cache — because almost all stores hit the top few words of the parse
+// stacks. Reads dominate (table and input scanning), matching yacc's
+// 3.4:1 load:store ratio in Table 1.
+type yaccWL struct{}
+
+func (yaccWL) Name() string { return "yacc" }
+
+func (yaccWL) Description() string {
+	return "SLR(1) table-driven expression parser with traced parse tables and stacks"
+}
+
+// Terminal symbols.
+const (
+	yID = iota
+	yPlus
+	yStar
+	yLParen
+	yRParen
+	yEOF
+	yNumTerms
+)
+
+// Nonterminals (for the goto table).
+const (
+	yE = iota
+	yT
+	yF
+	yNumNonterms
+)
+
+// Action encoding in the table words.
+const (
+	actErr    = 0
+	actShift  = 0x1000
+	actReduce = 0x2000
+	actAccept = 0x3000
+	actMask   = 0xf000
+	argMask   = 0x0fff
+)
+
+const yaccStates = 12
+
+// slrAction is the textbook SLR table for the grammar (dragon book Fig
+// 4.37). Productions: 1:E->E+T 2:E->T 3:T->T*F 4:T->F 5:F->(E) 6:F->id.
+var slrAction = [yaccStates][yNumTerms]uint32{
+	0:  {yID: actShift | 5, yLParen: actShift | 4},
+	1:  {yPlus: actShift | 6, yEOF: actAccept},
+	2:  {yPlus: actReduce | 2, yStar: actShift | 7, yRParen: actReduce | 2, yEOF: actReduce | 2},
+	3:  {yPlus: actReduce | 4, yStar: actReduce | 4, yRParen: actReduce | 4, yEOF: actReduce | 4},
+	4:  {yID: actShift | 5, yLParen: actShift | 4},
+	5:  {yPlus: actReduce | 6, yStar: actReduce | 6, yRParen: actReduce | 6, yEOF: actReduce | 6},
+	6:  {yID: actShift | 5, yLParen: actShift | 4},
+	7:  {yID: actShift | 5, yLParen: actShift | 4},
+	8:  {yPlus: actShift | 6, yRParen: actShift | 11},
+	9:  {yPlus: actReduce | 1, yStar: actShift | 7, yRParen: actReduce | 1, yEOF: actReduce | 1},
+	10: {yPlus: actReduce | 3, yStar: actReduce | 3, yRParen: actReduce | 3, yEOF: actReduce | 3},
+	11: {yPlus: actReduce | 5, yStar: actReduce | 5, yRParen: actReduce | 5, yEOF: actReduce | 5},
+}
+
+var slrGoto = [yaccStates][yNumNonterms]uint32{
+	0: {yE: 1, yT: 2, yF: 3},
+	4: {yE: 8, yT: 2, yF: 3},
+	6: {yT: 9, yF: 3},
+	7: {yF: 10},
+}
+
+// prodLen[p] and prodLHS[p] describe production p.
+var prodLen = [7]uint32{0, 3, 1, 3, 1, 3, 1}
+var prodLHS = [7]uint32{0, yE, yE, yT, yT, yF, yF}
+
+const (
+	yaccInputToks = 11000 // tokens per parse batch (~88KB: yacc fits a 128KB cache, not a 64KB one)
+	yaccBatches   = 8     // batches per unit of scale
+	yaccStackMax  = 256
+)
+
+func (yaccWL) Run(m *memsim.Mem, scale int) {
+	scale = clampScale(scale)
+	r := newRNG(0x9acc)
+
+	// Load the parse tables into traced static memory (yacc's tables are
+	// static data in the real program).
+	action := m.NewU32ArrayStatic(yaccStates * yNumTerms)
+	gotoTab := m.NewU32ArrayStatic(yaccStates * yNumNonterms)
+	for s := 0; s < yaccStates; s++ {
+		for t := 0; t < yNumTerms; t++ {
+			m.Step(1)
+			action.Set(s*yNumTerms+t, slrAction[s][t])
+		}
+		for nt := 0; nt < yNumNonterms; nt++ {
+			m.Step(1)
+			gotoTab.Set(s*yNumNonterms+nt, slrGoto[s][nt])
+		}
+	}
+
+	// Token input buffer: (kind, value) pairs.
+	input := m.NewU32Array(yaccInputToks * 2)
+	stateStack := m.NewU32ArrayStack(yaccStackMax)
+	valueStack := m.NewU32ArrayStack(yaccStackMax)
+
+	for batch := 0; batch < scale*yaccBatches; batch++ {
+		n := genTokens(m, input, r)
+		parseLR(m, action, gotoTab, input, n, stateStack, valueStack)
+	}
+}
+
+// genTokens writes a stream of valid expressions (each terminated by
+// EOF) into the input buffer and returns the token count.
+func genTokens(m *memsim.Mem, input memsim.U32Array, r *rng) int {
+	n := 0
+	put := func(kind, val uint32) {
+		if 2*n+1 >= input.Len() {
+			return
+		}
+		m.Step(2)
+		input.Set(2*n, kind)
+		input.Set(2*n+1, val)
+		n++
+	}
+	// Emit expressions until the buffer is nearly full, leaving room to
+	// close every expression with EOF.
+	for 2*n+64 < input.Len() {
+		genYaccExpr(put, r, 4)
+		put(yEOF, 0)
+	}
+	return n
+}
+
+func genYaccExpr(put func(kind, val uint32), r *rng, depth int) {
+	if depth == 0 || r.intn(3) == 0 {
+		put(yID, uint32(r.intn(97)+1))
+		return
+	}
+	paren := r.intn(3) == 0
+	if paren {
+		put(yLParen, 0)
+	}
+	genYaccExpr(put, r, depth-1)
+	if r.intn(2) == 0 {
+		put(yPlus, 0)
+	} else {
+		put(yStar, 0)
+	}
+	genYaccExpr(put, r, depth-1)
+	if paren {
+		put(yRParen, 0)
+	}
+}
+
+// parseLR runs the LR automaton over the token stream, evaluating
+// expression values on the value stack. It returns the sum of all
+// accepted expression values (used by tests to check the parser really
+// parses).
+func parseLR(m *memsim.Mem, action, gotoTab, input memsim.U32Array, nTok int, stateStack, valueStack memsim.U32Array) uint32 {
+	var accSum uint32
+	pos := 0
+	for pos < nTok {
+		// Begin a new expression parse.
+		sp := 0
+		m.Step(1)
+		stateStack.Set(0, 0)
+		for pos < nTok {
+			m.Step(2)
+			tok := input.Get(2 * pos)
+			tokVal := input.Get(2*pos + 1)
+			state := stateStack.Get(sp)
+			act := action.Get(int(state)*yNumTerms + int(tok))
+			switch act & actMask {
+			case actShift:
+				if sp+1 >= yaccStackMax {
+					pos++
+					continue
+				}
+				sp++
+				stateStack.Set(sp, act&argMask)
+				valueStack.Set(sp, tokVal)
+				pos++
+			case actReduce:
+				p := act & argMask
+				l := int(prodLen[p])
+				// Semantic action over the popped values.
+				var v uint32
+				switch p {
+				case 1: // E -> E + T
+					v = valueStack.Get(sp-2) + valueStack.Get(sp)
+				case 3: // T -> T * F
+					v = valueStack.Get(sp-2) * valueStack.Get(sp)
+				case 5: // F -> ( E )
+					v = valueStack.Get(sp - 1)
+				default: // unit productions
+					v = valueStack.Get(sp)
+				}
+				sp -= l
+				if sp < 0 {
+					sp = 0
+				}
+				top := stateStack.Get(sp)
+				next := gotoTab.Get(int(top)*yNumNonterms + int(prodLHS[p]))
+				if sp+1 >= yaccStackMax {
+					continue
+				}
+				sp++
+				stateStack.Set(sp, next)
+				valueStack.Set(sp, v)
+			case actAccept:
+				accSum += valueStack.Get(sp)
+				pos++ // consume the EOF
+				sp = -1
+			default:
+				// Error: skip the offending token (yacc's error recovery
+				// is of course fancier; a skip keeps the automaton moving).
+				pos++
+			}
+			if sp < 0 {
+				break
+			}
+		}
+	}
+	return accSum
+}

@@ -1,0 +1,27 @@
+package writecache_test
+
+import (
+	"fmt"
+
+	"cachewrite/internal/writecache"
+)
+
+// Example demonstrates write coalescing in the paper's five-entry
+// write cache: repeated writes to hot words merge instead of leaving
+// the chip.
+func Example() {
+	wc, err := writecache.New(writecache.Config{Entries: 5, LineSize: 8})
+	if err != nil {
+		panic(err)
+	}
+	// A hot spot: the same two 8B lines written 10 times each.
+	for i := 0; i < 10; i++ {
+		wc.Write(0x100, 8)
+		wc.Write(0x108, 8)
+	}
+	s := wc.Stats()
+	fmt.Printf("writes: %d, merged: %d (%.0f%% removed)\n",
+		s.Writes, s.Merged, 100*s.RemovedFraction())
+	// Output:
+	// writes: 20, merged: 18 (90% removed)
+}
