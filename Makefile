@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test check fuzz-smoke bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-merge gate: static analysis, the full suite under
+# the race detector, and a short fuzz smoke over the trace decoders.
+check: build
+	$(GO) vet ./...
+	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke
+
+fuzz-smoke:
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime 5s
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzStreamBinary$$' -fuzztime 5s
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -42,6 +42,7 @@ func main() {
 		wcEntries = flag.Int("wcache", 0, "optional write-cache entries (write-through L1 only)")
 		confFile  = flag.String("config", "", "JSON configuration file (overrides the geometry/policy flags)")
 		jsonOut   = flag.Bool("json", false, "emit results as JSON")
+		lenient   = flag.Bool("lenient", false, "tolerate a damaged -trace file: skip corrupt records, keep the intact prefix, report what was lost")
 	)
 	flag.Parse()
 
@@ -79,7 +80,15 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		tr, err = trace.ReadBinary(f)
+		if *lenient {
+			var ds trace.DecodeStats
+			tr, ds, err = trace.ReadBinaryLenient(f)
+			if err == nil && ds.Damaged() {
+				fmt.Fprintf(os.Stderr, "cachesim: %s: %s\n", *traceFile, ds)
+			}
+		} else {
+			tr, err = trace.ReadBinary(f)
+		}
 		f.Close()
 		if err != nil {
 			fail(err)

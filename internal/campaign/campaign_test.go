@@ -1,0 +1,228 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cachewrite/internal/faults"
+)
+
+func testConfig(t *testing.T, trials int) Config {
+	t.Helper()
+	arms, err := ParseArms("wt+parity,wb+ecc,wb+parity", Options{
+		ErrorEvery: 50, ScrubInterval: 2000, XactFaultEvery: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{Arms: arms, Trials: trials, Seed: 1, TraceEvents: 5000}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestRunDeterministicJSON is the acceptance check: the same seed
+// produces byte-identical JSON output across runs.
+func TestRunDeterministicJSON(t *testing.T) {
+	cfg := testConfig(t, 4)
+	a, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, jb := mustJSON(t, a), mustJSON(t, b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("same seed produced different JSON:\n%s\n----\n%s", ja, jb)
+	}
+	if a.TrialsCompleted != cfg.Trials {
+		t.Fatalf("completed %d/%d trials", a.TrialsCompleted, cfg.Trials)
+	}
+}
+
+// TestRunSeedMatters guards against the opposite failure: a campaign
+// that ignores its seed would pass the determinism test trivially.
+func TestRunSeedMatters(t *testing.T) {
+	cfg := testConfig(t, 2)
+	a, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 2
+	b, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(mustJSON(t, a), mustJSON(t, b)) {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+// TestRunPairedTrials checks trial pairing: every arm replays the same
+// traces, so access counts agree across arms.
+func TestRunPairedTrials(t *testing.T) {
+	res, err := Run(context.Background(), testConfig(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arm := range res.Arms[1:] {
+		if arm.Report.Accesses != res.Arms[0].Report.Accesses {
+			t.Errorf("arm %s saw %d accesses, arm %s saw %d — trials not paired",
+				arm.Name, arm.Report.Accesses, res.Arms[0].Name, res.Arms[0].Report.Accesses)
+		}
+	}
+}
+
+// TestRunSchemeOrdering checks the campaign-level §3 reproduction:
+// the write-through + parity arm loses no clean-array data while the
+// write-back parity-only arm is the most vulnerable protected arm.
+func TestRunSchemeOrdering(t *testing.T) {
+	res, err := Run(context.Background(), testConfig(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ArmResult{}
+	for _, a := range res.Arms {
+		byName[a.Name] = a
+	}
+	wtp := byName["wt+parity"].Report
+	for _, l := range []faults.Layer{faults.LayerL1, faults.LayerL2} {
+		if lr := wtp.Layer(l); lr.DUE != 0 || lr.SDC != 0 {
+			t.Errorf("wt+parity %s lost clean data: %+v", l, lr)
+		}
+	}
+	wbp := byName["wb+parity"].Report.Total()
+	wbe := byName["wb+ecc"].Report.Total()
+	if !(wbe.DUE < wbp.DUE) {
+		t.Errorf("wb+ecc DUE %d should be below wb+parity DUE %d", wbe.DUE, wbp.DUE)
+	}
+	if wtp.Total().DUE >= wbp.DUE {
+		t.Errorf("wt+parity DUE %d should be below wb+parity DUE %d", wtp.Total().DUE, wbp.DUE)
+	}
+}
+
+// TestRunCheckpointResume cancels a campaign before any work,
+// verifies a checkpoint lands, then resumes to completion: the result
+// must be byte-identical to an uninterrupted run, and the completed
+// campaign must remove its checkpoint.
+func TestRunCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "camp.ckpt")
+
+	cfg := testConfig(t, 6)
+	want, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.CheckpointPath = ckpt
+	cfg.CheckpointEvery = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err = Run(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v", err)
+	}
+	if _, statErr := os.Stat(ckpt); statErr != nil {
+		t.Fatalf("no checkpoint after cancellation: %v", statErr)
+	}
+
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, res), mustJSON(t, want)) {
+		t.Fatalf("resumed result differs from uninterrupted result")
+	}
+	if _, statErr := os.Stat(ckpt); !os.IsNotExist(statErr) {
+		t.Errorf("completed campaign left its checkpoint behind (stat err %v)", statErr)
+	}
+}
+
+// TestRunCheckpointMidway resumes from a genuine mid-campaign
+// checkpoint: the first 3 trials run as their own campaign (trial
+// seeds depend only on (master seed, trial position), so the prefix
+// accumulates identically), their totals are written as a Done=3
+// checkpoint of the 6-trial campaign, and the resumed run must finish
+// byte-identical to an uninterrupted 6-trial run.
+func TestRunCheckpointMidway(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "camp.ckpt")
+
+	cfg := testConfig(t, 6)
+	want, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prefix := cfg
+	prefix.Trials = 3
+	pres, err := Run(context.Background(), prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := checkpoint{
+		Seed:        cfg.Seed,
+		Trials:      cfg.Trials,
+		TraceEvents: cfg.TraceEvents,
+		WritePct:    40, // Run's default, recorded by its checkpoints
+		Done:        3,
+	}
+	for _, a := range pres.Arms {
+		ck.ArmNames = append(ck.ArmNames, a.Name)
+		ck.Reports = append(ck.Reports, a.Report)
+	}
+	if err := saveCheckpoint(ckpt, &ck); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.CheckpointPath = ckpt
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, res), mustJSON(t, want)) {
+		t.Fatalf("resume from trial 3 differs from uninterrupted run:\n%s\n----\n%s",
+			mustJSON(t, res), mustJSON(t, want))
+	}
+}
+
+// TestCheckpointMismatch rejects resuming with different parameters.
+func TestCheckpointMismatch(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "camp.ckpt")
+	cfg := testConfig(t, 4)
+	ck := checkpoint{Seed: cfg.Seed + 1, Trials: cfg.Trials, TraceEvents: cfg.TraceEvents,
+		WritePct: 40, ArmNames: []string{"wt+parity", "wb+ecc", "wb+parity"}, Done: 1,
+		Reports: make([]faults.HierarchyReport, 3)}
+	if err := saveCheckpoint(ckpt, &ck); err != nil {
+		t.Fatal(err)
+	}
+	cfg.CheckpointPath = ckpt
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("mismatched checkpoint accepted")
+	}
+}
+
+func TestStandardArmErrors(t *testing.T) {
+	for _, bad := range []string{"wt", "wt+", "+parity", "wt+hamming", "l3+ecc", ""} {
+		if _, err := StandardArm(bad, Options{}); err == nil {
+			t.Errorf("arm %q accepted", bad)
+		}
+	}
+	if _, err := ParseArms(",,", Options{}); err == nil {
+		t.Error("empty arm list accepted")
+	}
+}

@@ -43,6 +43,10 @@ const (
 	ByteParity Scheme = iota
 	// WordSECECC corrects one bit error per 32-bit word in place.
 	WordSECECC
+	// None is an unprotected array: upsets are never detected, so any
+	// struck data is consumed or written onward silently corrupted —
+	// the SDC baseline the campaign tables compare against.
+	None
 )
 
 // String names the scheme.
@@ -52,13 +56,16 @@ func (s Scheme) String() string {
 		return "byte parity"
 	case WordSECECC:
 		return "word SEC ECC"
+	case None:
+		return "unprotected"
 	default:
 		return fmt.Sprintf("Scheme(%d)", uint8(s))
 	}
 }
 
 // OverheadBitsPerWord returns the storage overhead per 32-bit data
-// word (§3: 4 parity bits vs 6 ECC bits).
+// word (§3: 4 parity bits vs 6 ECC bits; an unprotected array pays
+// nothing).
 func (s Scheme) OverheadBitsPerWord() int {
 	switch s {
 	case ByteParity:
@@ -67,6 +74,21 @@ func (s Scheme) OverheadBitsPerWord() int {
 		return 6
 	default:
 		return 0
+	}
+}
+
+// ParseScheme reads a scheme name as used by CLI flags: "parity",
+// "ecc" or "none".
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "parity":
+		return ByteParity, nil
+	case "ecc":
+		return WordSECECC, nil
+	case "none":
+		return None, nil
+	default:
+		return 0, fmt.Errorf("faults: unknown protection scheme %q (want parity, ecc or none)", s)
 	}
 }
 
@@ -181,6 +203,10 @@ func Inject(cfg Config, t *trace.Trace) (Report, error) {
 		wordDirty := st.Dirty&(uint64(0xf)<<(uint32(word)*4)) != 0
 
 		switch cfg.Scheme {
+		case None:
+			// Undetected: the corruption is consumed or written back
+			// silently. It is still a loss of correct data.
+			rep.DataLoss++
 		case ByteParity:
 			if wordDirty {
 				// Parity detects but cannot correct; the only copy of the

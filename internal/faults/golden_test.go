@@ -1,0 +1,83 @@
+package faults
+
+import (
+	"testing"
+
+	"cachewrite/internal/cache"
+	"cachewrite/internal/synth"
+)
+
+// TestInjectGoldenCounts pins the exact recovery accounting of every
+// protection scheme at both paper-relevant line sizes. Injection is
+// documented to be deterministic for a given seed; these goldens turn
+// that promise into a regression tripwire — any change to the RNG
+// stream, the strike-selection loop or the classification rules shows
+// up as a count drift here.
+func TestInjectGoldenCounts(t *testing.T) {
+	tr, err := synth.HotCold(3, 30000, 16, 16, 1<<16, 80, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		lineSize int
+		scheme   Scheme
+		want     Report
+	}{
+		{16, ByteParity, Report{Injected: 364, RecoveredByRefetch: 276, DataLoss: 88, RefetchTraffic: 4416}},
+		{16, WordSECECC, Report{Injected: 364, CorrectedInPlace: 224, RecoveredByRefetch: 104, DataLoss: 36, RefetchTraffic: 1664}},
+		{16, None, Report{Injected: 364, DataLoss: 364}},
+		{32, ByteParity, Report{Injected: 263, RecoveredByRefetch: 212, DataLoss: 51, RefetchTraffic: 6784}},
+		{32, WordSECECC, Report{Injected: 263, CorrectedInPlace: 174, RecoveredByRefetch: 66, DataLoss: 23, RefetchTraffic: 2112}},
+		{32, None, Report{Injected: 263, DataLoss: 263}},
+	}
+	for _, tc := range cases {
+		cfg := Config{
+			Cache: cache.Config{Size: 4 << 10, LineSize: tc.lineSize, Assoc: 1,
+				WriteHit: cache.WriteBack, WriteMiss: cache.FetchOnWrite},
+			Scheme:     tc.scheme,
+			ErrorEvery: 50,
+			Seed:       7,
+		}
+		rep, err := Inject(cfg, tr)
+		if err != nil {
+			t.Fatalf("line %d %s: %v", tc.lineSize, tc.scheme, err)
+		}
+		if rep != tc.want {
+			t.Errorf("line %d %s:\n got  %+v\n want %+v", tc.lineSize, tc.scheme, rep, tc.want)
+		}
+		if got := rep.CorrectedInPlace + rep.RecoveredByRefetch + rep.DataLoss; got != rep.Injected {
+			t.Errorf("line %d %s: outcomes %d != injected %d", tc.lineSize, tc.scheme, got, rep.Injected)
+		}
+	}
+}
+
+// TestInjectSchemeOrdering checks the paper's §3 argument holds at
+// both line sizes: ECC loses least, parity-only more, and an
+// unprotected array loses everything it is struck with.
+func TestInjectSchemeOrdering(t *testing.T) {
+	tr, err := synth.HotCold(3, 30000, 16, 16, 1<<16, 80, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ls := range []int{16, 32} {
+		loss := map[Scheme]uint64{}
+		for _, s := range []Scheme{ByteParity, WordSECECC, None} {
+			cfg := Config{
+				Cache: cache.Config{Size: 4 << 10, LineSize: ls, Assoc: 1,
+					WriteHit: cache.WriteBack, WriteMiss: cache.FetchOnWrite},
+				Scheme:     s,
+				ErrorEvery: 50,
+				Seed:       7,
+			}
+			rep, err := Inject(cfg, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loss[s] = rep.DataLoss
+		}
+		if !(loss[WordSECECC] < loss[ByteParity] && loss[ByteParity] < loss[None]) {
+			t.Errorf("line %d: loss ordering violated: ecc %d, parity %d, none %d",
+				ls, loss[WordSECECC], loss[ByteParity], loss[None])
+		}
+	}
+}

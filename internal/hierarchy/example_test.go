@@ -20,12 +20,15 @@ func Example() {
 	l2 := cache.Config{Size: 256 << 10, LineSize: 64, Assoc: 4,
 		WriteHit: cache.WriteBack, WriteMiss: cache.FetchOnWrite}
 	run := func(wc *writecache.Config) uint64 {
-		h := hierarchy.MustNew(hierarchy.Config{
+		h, err := hierarchy.New(hierarchy.Config{
 			L1: cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1,
 				WriteHit: cache.WriteThrough, WriteMiss: cache.FetchOnWrite},
 			WriteCache: wc,
 			L2:         &l2,
 		})
+		if err != nil {
+			panic(err)
+		}
 		h.AccessTrace(t)
 		return h.Stats().L1ToL2Transactions
 	}

@@ -139,15 +139,6 @@ func New(cfg Config) (*Hierarchy, error) {
 	return h, nil
 }
 
-// MustNew is New but panics on error.
-func MustNew(cfg Config) *Hierarchy {
-	h, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return h
-}
-
 // Access simulates one event through the hierarchy.
 func (h *Hierarchy) Access(e trace.Event) { h.l1.Access(e) }
 

@@ -21,6 +21,16 @@ func l2cfg() *cache.Config {
 func rd(addr uint32) trace.Event { return trace.Event{Addr: addr, Size: 4, Kind: trace.Read} }
 func wr(addr uint32) trace.Event { return trace.Event{Addr: addr, Size: 4, Kind: trace.Write} }
 
+// mustNew builds a hierarchy from a known-good test configuration.
+func mustNew(t *testing.T, cfg Config) *Hierarchy {
+	t.Helper()
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
 func TestValidate(t *testing.T) {
 	good := Config{L1: l1cfg(cache.WriteBack), L2: l2cfg()}
 	if err := good.Validate(); err != nil {
@@ -61,19 +71,16 @@ func TestValidate(t *testing.T) {
 	}
 }
 
-func TestMustNewPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustNew did not panic")
-		}
-	}()
-	MustNew(Config{})
+func TestNewPropagatesConfigError(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted an empty (invalid) configuration")
+	}
 }
 
 func TestBacksideCountsMatchL1(t *testing.T) {
 	// Without a write cache, hierarchy transactions must equal the L1's
 	// own back-side accounting (program execution only).
-	h := MustNew(Config{L1: l1cfg(cache.WriteBack)})
+	h := mustNew(t, Config{L1: l1cfg(cache.WriteBack)})
 	tr := &trace.Trace{}
 	for i := 0; i < 500; i++ {
 		tr.Append(rd(uint32(i*16) % 4096))
@@ -90,7 +97,7 @@ func TestBacksideCountsMatchL1(t *testing.T) {
 }
 
 func TestL2SeesL1Misses(t *testing.T) {
-	h := MustNew(Config{L1: l1cfg(cache.WriteBack), L2: l2cfg()})
+	h := mustNew(t, Config{L1: l1cfg(cache.WriteBack), L2: l2cfg()})
 	h.Access(rd(0x100))
 	h.Access(rd(0x100)) // L1 hit: L2 silent
 	l2 := h.L2().Stats()
@@ -113,7 +120,7 @@ func TestL2SeesL1Misses(t *testing.T) {
 }
 
 func TestWriteThroughWordsReachL2(t *testing.T) {
-	h := MustNew(Config{L1: l1cfg(cache.WriteThrough), L2: l2cfg()})
+	h := mustNew(t, Config{L1: l1cfg(cache.WriteThrough), L2: l2cfg()})
 	h.Access(rd(0x100))
 	h.Access(wr(0x100))
 	l2 := h.L2().Stats()
@@ -123,7 +130,7 @@ func TestWriteThroughWordsReachL2(t *testing.T) {
 }
 
 func TestDirtyVictimWritebackReachesL2(t *testing.T) {
-	h := MustNew(Config{L1: l1cfg(cache.WriteBack), L2: l2cfg()})
+	h := mustNew(t, Config{L1: l1cfg(cache.WriteBack), L2: l2cfg()})
 	h.Access(wr(0x100))         // dirty line in L1 (fetch-on-write)
 	h.Access(rd(0x100 + 1<<10)) // conflicting line evicts it
 	l2 := h.L2().Stats()
@@ -133,7 +140,7 @@ func TestDirtyVictimWritebackReachesL2(t *testing.T) {
 }
 
 func TestWriteCachePath(t *testing.T) {
-	h := MustNew(Config{
+	h := mustNew(t, Config{
 		L1:         l1cfg(cache.WriteThrough),
 		WriteCache: &writecache.Config{Entries: 2, LineSize: 8},
 		L2:         l2cfg(),
@@ -168,7 +175,7 @@ func TestWriteCachePath(t *testing.T) {
 }
 
 func TestFlushDrainsAllLevels(t *testing.T) {
-	h := MustNew(Config{
+	h := mustNew(t, Config{
 		L1:         l1cfg(cache.WriteThrough),
 		WriteCache: &writecache.Config{Entries: 8, LineSize: 8},
 		L2:         l2cfg(),
@@ -189,7 +196,7 @@ func TestFlushDrainsAllLevels(t *testing.T) {
 }
 
 func TestNoL2IsLegal(t *testing.T) {
-	h := MustNew(Config{L1: l1cfg(cache.WriteBack)})
+	h := mustNew(t, Config{L1: l1cfg(cache.WriteBack)})
 	h.Access(rd(0x100))
 	if h.L2() != nil {
 		t.Error("L2 should be nil")

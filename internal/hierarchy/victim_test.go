@@ -42,7 +42,7 @@ func TestVictimModeCapturesConflictMisses(t *testing.T) {
 	a, b := uint32(0x000), uint32(0x100) // same set in a 256B DM cache
 
 	run := func(victim bool) (victimHits, transactions uint64) {
-		h := MustNew(victimCfg(victim))
+		h := mustNew(t, victimCfg(victim))
 		for i := 0; i < 10; i++ {
 			h.Access(trace.Event{Addr: a, Size: 4, Kind: trace.Read})
 			h.Access(trace.Event{Addr: b, Size: 4, Kind: trace.Read})
@@ -68,7 +68,7 @@ func TestVictimModeCapturesConflictMisses(t *testing.T) {
 // TestVictimModeIgnoresDirtyEntries: a line known to the write cache
 // only through a word write (partial line) must not satisfy a refill.
 func TestVictimModeIgnoresDirtyEntries(t *testing.T) {
-	h := MustNew(victimCfg(true))
+	h := mustNew(t, victimCfg(true))
 	a := uint32(0x000)
 	// Write-miss at a: fetch-on-write fills L1, the written word enters
 	// the write cache as a dirty (partial) entry.
@@ -122,7 +122,7 @@ func TestInclusionValidation(t *testing.T) {
 }
 
 func TestInclusiveBackInvalidation(t *testing.T) {
-	h := MustNew(inclusiveCfg(true))
+	h := mustNew(t, inclusiveCfg(true))
 	// Dirty an L1 line at 0x100 (inside L2 line 0x100-0x13f, set 4).
 	h.Access(wr(0x100))
 	if !h.L1().Probe(0x100).Present {
@@ -145,7 +145,7 @@ func TestInclusiveBackInvalidation(t *testing.T) {
 }
 
 func TestNonInclusiveKeepsL1Lines(t *testing.T) {
-	h := MustNew(inclusiveCfg(false))
+	h := mustNew(t, inclusiveCfg(false))
 	h.Access(wr(0x100))
 	h.Access(rd(0x510)) // evicts the covering L2 line, not the L1 line
 	if !h.L1().Probe(0x100).Present {
@@ -159,7 +159,7 @@ func TestNonInclusiveKeepsL1Lines(t *testing.T) {
 // TestInclusionHolds: after a mixed workload, every resident L1 line is
 // covered by a resident L2 line.
 func TestInclusionHolds(t *testing.T) {
-	h := MustNew(inclusiveCfg(true))
+	h := mustNew(t, inclusiveCfg(true))
 	for i := 0; i < 5000; i++ {
 		addr := uint32((i*313)%(1<<13)) &^ 3
 		if i%3 == 0 {

@@ -14,6 +14,7 @@ package memsim
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 
@@ -48,19 +49,29 @@ type Mem struct {
 	// instBudget optionally bounds total instructions; see SetLimit.
 	limit    uint64
 	executed uint64
+	// err is the first failure encountered (sticky); see Err. Once set,
+	// no further trace events are recorded, but the workload's real
+	// computation proceeds so algorithms still terminate normally.
+	err error
+	// scratch backs accesses that cannot touch real memory (page-
+	// crossing) so reads see deterministic zeroes instead of crashing.
+	scratch [8]byte
 
 	heapNext   uint32
 	staticNext uint32
 	stackNext  uint32
 }
 
-// ErrLimit is panicked (and recovered by Run in package workload) when
-// an instruction limit set with SetLimit is exceeded.
-type ErrLimit struct{ Executed uint64 }
-
-func (e ErrLimit) Error() string {
-	return fmt.Sprintf("memsim: instruction limit reached after %d instructions", e.Executed)
-}
+// Sentinel errors, matchable with errors.Is against Err's result.
+var (
+	// ErrLimit reports that an instruction limit set with SetLimit was
+	// exceeded; the trace holds the events recorded up to the limit.
+	ErrLimit = errors.New("memsim: instruction limit reached")
+	// ErrPageCross reports an access spanning a page boundary, which
+	// the aligned power-of-two accesses of well-formed workloads never
+	// produce.
+	ErrPageCross = errors.New("memsim: access crosses a page boundary")
+)
 
 // New returns an empty memory that records references into a trace with
 // the given workload name.
@@ -79,9 +90,23 @@ func New(name string) *Mem {
 // workload is still running.
 func (m *Mem) Trace() *trace.Trace { return m.trace }
 
-// SetLimit arranges for memory accesses to panic with ErrLimit once the
-// total instruction count exceeds n. Zero means no limit.
+// SetLimit bounds the total instruction count at n: once exceeded, the
+// trace stops growing and Err returns an error wrapping ErrLimit. Zero
+// means no limit.
 func (m *Mem) SetLimit(n uint64) { m.limit = n }
+
+// Err returns the first failure encountered while tracing: an error
+// wrapping ErrLimit after an instruction budget ran out, or one
+// wrapping ErrPageCross after a malformed access. It is nil for a
+// clean run. The trace recorded up to the failure remains valid.
+func (m *Mem) Err() error { return m.err }
+
+// fail records the first error; later failures keep the original.
+func (m *Mem) fail(err error) {
+	if m.err == nil {
+		m.err = err
+	}
+}
 
 // Executed returns the total instructions accounted for so far.
 func (m *Mem) Executed() uint64 { return m.executed }
@@ -134,11 +159,20 @@ func (m *Mem) page(addr uint32) []byte {
 }
 
 func (m *Mem) record(kind trace.Kind, addr uint32, size uint8) {
+	if m.err != nil {
+		m.gap = 0
+		return
+	}
+	if int(addr&pageMask)+int(size) > pageSize {
+		m.fail(fmt.Errorf("%w: access at 0x%x size %d", ErrPageCross, addr, size))
+		return
+	}
 	gap := m.gap
 	m.executed += gap + 1
 	m.gap = 0
 	if m.limit != 0 && m.executed > m.limit {
-		panic(ErrLimit{Executed: m.executed})
+		m.fail(fmt.Errorf("%w after %d instructions", ErrLimit, m.executed))
+		return
 	}
 	for gap > 0xffff {
 		// Extremely long gaps are split across zero-size... not allowed;
@@ -151,12 +185,16 @@ func (m *Mem) record(kind trace.Kind, addr uint32, size uint8) {
 	m.trace.Append(trace.Event{Addr: addr, Gap: uint16(gap), Size: size, Kind: kind})
 }
 
-// span returns the bytes for [addr, addr+size) which must not cross a
-// page boundary (guaranteed for aligned power-of-two accesses).
+// span returns the bytes for [addr, addr+size), which must not cross a
+// page boundary (guaranteed for aligned power-of-two accesses). A
+// crossing access records a sticky ErrPageCross and is redirected to a
+// zeroed scratch buffer so the caller reads zeroes and writes nowhere.
 func (m *Mem) span(addr uint32, size uint8) []byte {
 	off := addr & pageMask
 	if int(off)+int(size) > pageSize {
-		panic(fmt.Sprintf("memsim: access at 0x%x size %d crosses a page boundary", addr, size))
+		m.fail(fmt.Errorf("%w: access at 0x%x size %d", ErrPageCross, addr, size))
+		m.scratch = [8]byte{}
+		return m.scratch[:size]
 	}
 	return m.page(addr)[off : off+uint32(size)]
 }

@@ -1,6 +1,7 @@
 package memsim
 
 import (
+	"errors"
 	"testing"
 
 	"cachewrite/internal/trace"
@@ -111,40 +112,67 @@ func TestPeekPokeUntraced(t *testing.T) {
 	}
 }
 
-func TestSetLimitPanics(t *testing.T) {
+func TestSetLimitStopsRecording(t *testing.T) {
 	m := New("t")
 	a := m.Alloc(1024, 8)
 	m.SetLimit(5)
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("no panic after limit")
-		}
-		if _, ok := r.(ErrLimit); !ok {
-			t.Fatalf("panic value %T, want ErrLimit", r)
-		}
-	}()
 	for i := 0; i < 100; i++ {
-		m.WriteU32(a+uint32(4*i), 0)
+		m.WriteU32(a+uint32(4*i), uint32(i))
+	}
+	if err := m.Err(); !errors.Is(err, ErrLimit) {
+		t.Fatalf("Err() = %v, want ErrLimit", err)
+	}
+	if got := m.Trace().Len(); got != 5 {
+		t.Errorf("trace has %d events, want 5 (one per instruction up to the limit)", got)
+	}
+	if m.Executed() != 6 {
+		t.Errorf("executed = %d, want 6 (the access that tripped the limit counts)", m.Executed())
+	}
+	// Real computation continues past the limit: the last write landed.
+	if got := m.PeekU32(a + 4*99); got != 99 {
+		t.Errorf("memory after limit = %d, want 99 (workload must still run correctly)", got)
 	}
 }
 
-func TestErrLimitError(t *testing.T) {
-	e := ErrLimit{Executed: 7}
-	if e.Error() == "" {
-		t.Error("empty error string")
-	}
-}
-
-func TestPageBoundaryCrossingPanics(t *testing.T) {
+func TestLimitErrorIsWrapped(t *testing.T) {
 	m := New("t")
-	defer func() {
-		if recover() == nil {
-			t.Fatal("page-crossing access did not panic")
-		}
-	}()
+	a := m.Alloc(64, 8)
+	m.SetLimit(1)
+	m.WriteU32(a, 0)
+	m.WriteU32(a, 0)
+	err := m.Err()
+	if err == nil || err.Error() == "" {
+		t.Fatal("no descriptive error after limit")
+	}
+	if !errors.Is(err, ErrLimit) {
+		t.Errorf("error %v does not wrap ErrLimit", err)
+	}
+}
+
+func TestPageBoundaryCrossingFails(t *testing.T) {
+	m := New("t")
 	// 4 bytes starting 2 bytes before a page boundary.
-	m.WriteU32(HeapBase+pageSize-2, 1)
+	if got := m.ReadU32(HeapBase + pageSize - 2); got != 0 {
+		t.Errorf("page-crossing read = %d, want 0", got)
+	}
+	if err := m.Err(); !errors.Is(err, ErrPageCross) {
+		t.Fatalf("Err() = %v, want ErrPageCross", err)
+	}
+	// The failing access was not recorded, and the error is sticky: later
+	// accesses are not recorded either.
+	if m.Trace().Len() != 0 {
+		t.Errorf("trace has %d events after a failed access", m.Trace().Len())
+	}
+	a := m.Alloc(16, 8)
+	m.WriteU32(a, 1)
+	if m.Trace().Len() != 0 {
+		t.Error("accesses after a sticky error were recorded")
+	}
+	// Page-crossing writes are swallowed by scratch, not applied.
+	m.WriteU32(HeapBase+pageSize-2, 7)
+	if m.PeekU32(HeapBase+pageSize-4) != 0 {
+		t.Error("page-crossing write leaked into real memory")
+	}
 }
 
 func TestF64Array(t *testing.T) {

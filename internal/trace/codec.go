@@ -120,32 +120,16 @@ func WriteBinary(w io.Writer, t *Trace) error {
 	return bw.Flush()
 }
 
-// ReadBinary decodes a CWT1 binary trace from r.
+// ReadBinary decodes a CWT1 binary trace from r. Decoding is strict:
+// the first malformed record fails the whole read. Use
+// ReadBinaryLenient to salvage what a damaged file still holds.
 func ReadBinary(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
-	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
+	t := &Trace{}
+	count, err := decodeHeader(br, t)
+	if err != nil {
 		return nil, err
 	}
-	if m != magic {
-		return nil, ErrBadMagic
-	}
-	nameLen, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading name length: %w", err)
-	}
-	if nameLen > 1<<16 {
-		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
-	}
-	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("trace: reading name: %w", err)
-	}
-	count, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading event count: %w", err)
-	}
-	t := &Trace{Name: string(name)}
 	if count > 0 && count < 1<<28 {
 		t.Events = make([]Event, 0, count)
 	}

@@ -20,6 +20,15 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add([]byte("CWT1"))
 	f.Add([]byte{})
 	f.Add([]byte("CWT1\x00\xff\xff\xff\xff\xff\xff"))
+	// Truncated and bit-flipped variants of the valid seed.
+	raw := seed.Bytes()
+	f.Add(raw[:len(raw)-1])
+	f.Add(raw[:5])
+	for pos := 4; pos < len(raw); pos += 3 {
+		flipped := bytes.Clone(raw)
+		flipped[pos] ^= 1 << (pos % 8)
+		f.Add(flipped)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := ReadBinary(bytes.NewReader(data))
@@ -42,6 +51,82 @@ func FuzzReadBinary(f *testing.F) {
 		for i := range tr.Events {
 			if tr.Events[i] != tr2.Events[i] {
 				t.Fatalf("event %d drifted: %+v vs %+v", i, tr.Events[i], tr2.Events[i])
+			}
+		}
+	})
+}
+
+// FuzzStreamBinary: the streaming decoder and both lenient decoders
+// must never panic on arbitrary input, must agree with ReadBinary on
+// intact streams, and lenient decoding must deliver exactly the events
+// it counts.
+func FuzzStreamBinary(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteBinary(&seed, &Trace{Name: "seed", Events: []Event{
+		{Addr: 0x2000, Size: 4, Kind: Write, Gap: 1},
+		{Addr: 0x2004, Size: 4, Kind: Read},
+		{Addr: 0x80000000, Size: 8, Kind: Write, Gap: 0xffff},
+	}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	// Truncations and single-bit flips of a valid stream: the corpus the
+	// issue's robustness story is about.
+	raw := seed.Bytes()
+	f.Add(raw[:len(raw)-2])
+	f.Add(raw[:len(raw)/2])
+	for _, pos := range []int{6, 8, len(raw) - 1} {
+		flipped := bytes.Clone(raw)
+		flipped[pos] ^= 0x40
+		f.Add(flipped)
+	}
+	f.Add([]byte("CWT1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var streamed []Event
+		name, n, err := StreamBinary(bytes.NewReader(data), func(e Event) error {
+			streamed = append(streamed, e)
+			return nil
+		})
+		strict, strictErr := ReadBinary(bytes.NewReader(data))
+		if (err == nil) != (strictErr == nil) {
+			t.Fatalf("stream err %v vs read err %v disagree", err, strictErr)
+		}
+		if err == nil {
+			if name != strict.Name || n != uint64(len(strict.Events)) || len(streamed) != len(strict.Events) {
+				t.Fatalf("stream (%q, %d) vs read (%q, %d) drifted", name, n, strict.Name, len(strict.Events))
+			}
+			for i := range streamed {
+				if streamed[i] != strict.Events[i] {
+					t.Fatalf("event %d drifted", i)
+				}
+			}
+		}
+
+		// Lenient decoding: never errors past the header, counts what it
+		// delivers, and loses nothing on inputs strict decoding accepts.
+		ltr, ds, lerr := ReadBinaryLenient(bytes.NewReader(data))
+		if lerr == nil && ds.Decoded != uint64(len(ltr.Events)) {
+			t.Fatalf("lenient stats count %d but trace has %d", ds.Decoded, len(ltr.Events))
+		}
+		if strictErr == nil {
+			if lerr != nil || ds.Damaged() || len(ltr.Events) != len(strict.Events) {
+				t.Fatalf("lenient degraded an intact stream: err=%v stats=%v", lerr, ds)
+			}
+		}
+		var lstreamed uint64
+		_, sds, serr := StreamBinaryLenient(bytes.NewReader(data), func(Event) error {
+			lstreamed++
+			return nil
+		})
+		if serr == nil && sds.Decoded != lstreamed {
+			t.Fatalf("lenient stream stats %d but fn saw %d", sds.Decoded, lstreamed)
+		}
+		if lerr == nil && serr == nil && sds != ds {
+			// Identical inputs must damage identically (FirstErr aside).
+			if sds.Decoded != ds.Decoded || sds.Skipped != ds.Skipped || sds.Truncated != ds.Truncated {
+				t.Fatalf("lenient read %v vs stream %v disagree", ds, sds)
 			}
 		}
 	})

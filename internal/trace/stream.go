@@ -16,29 +16,12 @@ import (
 // The trace name is passed to fn via the returned name value.
 func StreamBinary(r io.Reader, fn func(Event) error) (name string, events uint64, err error) {
 	br := bufio.NewReader(r)
-	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return "", 0, err
-	}
-	if m != magic {
-		return "", 0, ErrBadMagic
-	}
-	nameLen, err := binary.ReadUvarint(br)
+	var t Trace
+	count, err := decodeHeader(br, &t)
 	if err != nil {
-		return "", 0, fmt.Errorf("trace: reading name length: %w", err)
+		return t.Name, 0, err
 	}
-	if nameLen > 1<<16 {
-		return "", 0, fmt.Errorf("trace: implausible name length %d", nameLen)
-	}
-	nameBytes := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, nameBytes); err != nil {
-		return "", 0, fmt.Errorf("trace: reading name: %w", err)
-	}
-	name = string(nameBytes)
-	count, err := binary.ReadUvarint(br)
-	if err != nil {
-		return name, 0, fmt.Errorf("trace: reading event count: %w", err)
-	}
+	name = t.Name
 	prev := uint32(0)
 	for i := uint64(0); i < count; i++ {
 		e, newPrev, err := decodeEvent(br, prev, i)
@@ -54,7 +37,13 @@ func StreamBinary(r io.Reader, fn func(Event) error) (name string, events uint64
 }
 
 // decodeEvent reads one event given the previous address (for delta
-// decoding); it is shared by ReadBinary and StreamBinary.
+// decoding); it is shared by ReadBinary, StreamBinary and their lenient
+// variants. Value-range violations (a corrupt but structurally intact
+// record) are reported wrapping ErrCorruptRecord so lenient decoding
+// can skip the record and resynchronize on the next tag byte; I/O and
+// varint-framing failures are returned as-is and end the stream. The
+// returned address is the delta base for the next event, advanced as
+// far as decoding got even when the record is rejected.
 func decodeEvent(br *bufio.Reader, prev uint32, i uint64) (Event, uint32, error) {
 	tag, err := br.ReadByte()
 	if err != nil {
@@ -70,24 +59,28 @@ func decodeEvent(br *bufio.Reader, prev uint32, i uint64) (Event, uint32, error)
 		if err != nil {
 			return Event{}, prev, fmt.Errorf("trace: event %d delta: %w", i, err)
 		}
-		e.Addr = uint32(int64(prev) + d)
+		a := int64(prev) + d
+		if a < 0 || a > int64(^uint32(0)) {
+			return Event{}, prev, fmt.Errorf("trace: event %d: %w: delta %d from 0x%x leaves the address space", i, ErrCorruptRecord, d, prev)
+		}
+		e.Addr = uint32(a)
 	} else {
 		a, err := binary.ReadUvarint(br)
 		if err != nil {
 			return Event{}, prev, fmt.Errorf("trace: event %d addr: %w", i, err)
 		}
 		if a > uint64(^uint32(0)) {
-			return Event{}, prev, fmt.Errorf("trace: event %d address 0x%x exceeds 32 bits", i, a)
+			return Event{}, prev, fmt.Errorf("trace: event %d: %w: address 0x%x exceeds 32 bits", i, ErrCorruptRecord, a)
 		}
 		e.Addr = uint32(a)
 	}
 	if tag&tagHasGap != 0 {
 		g, err := binary.ReadUvarint(br)
 		if err != nil {
-			return Event{}, prev, fmt.Errorf("trace: event %d gap: %w", i, err)
+			return Event{}, e.Addr, fmt.Errorf("trace: event %d gap: %w", i, err)
 		}
 		if g > 0xffff {
-			return Event{}, prev, fmt.Errorf("trace: event %d gap %d exceeds 16 bits", i, g)
+			return Event{}, e.Addr, fmt.Errorf("trace: event %d: %w: gap %d exceeds 16 bits", i, ErrCorruptRecord, g)
 		}
 		e.Gap = uint16(g)
 	}

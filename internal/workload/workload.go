@@ -22,6 +22,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -83,7 +84,31 @@ func Generate(name string, scale int) (*trace.Trace, error) {
 	}
 	m := memsim.New(name)
 	w.Run(m, scale)
+	if err := m.Err(); err != nil {
+		return m.Trace(), fmt.Errorf("workload %q: %w", name, err)
+	}
 	return m.Trace(), nil
+}
+
+// GenerateBudget runs the named workload at the given scale under an
+// instruction budget and returns the (possibly truncated) trace.
+// truncated reports whether the budget was exhausted; any other
+// tracing failure is returned as an error alongside the partial trace.
+func GenerateBudget(name string, scale int, limit uint64) (t *trace.Trace, truncated bool, err error) {
+	w, err := Get(name)
+	if err != nil {
+		return nil, false, err
+	}
+	m := memsim.New(name)
+	m.SetLimit(limit)
+	w.Run(m, scale)
+	if err := m.Err(); err != nil {
+		if errors.Is(err, memsim.ErrLimit) {
+			return m.Trace(), true, nil
+		}
+		return m.Trace(), false, fmt.Errorf("workload %q: %w", name, err)
+	}
+	return m.Trace(), false, nil
 }
 
 // GenerateAll produces traces for the six paper benchmarks in paper

@@ -53,23 +53,11 @@ func TestDescriptions(t *testing.T) {
 // budget so per-workload tests stay fast.
 func smallTrace(t *testing.T, name string, limit uint64) *trace.Trace {
 	t.Helper()
-	w, err := Get(name)
+	tr, _, err := GenerateBudget(name, 1, limit)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := memsim.New(name)
-	m.SetLimit(limit)
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(memsim.ErrLimit); !ok {
-					panic(r)
-				}
-			}
-		}()
-		w.Run(m, 1)
-	}()
-	return m.Trace()
+	return tr
 }
 
 func TestAllWorkloadsProduceValidTraces(t *testing.T) {

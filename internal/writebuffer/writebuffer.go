@@ -97,12 +97,19 @@ func (b *Buffer) Stats() Stats { return b.stats }
 // instruction count; write events enter the buffer.
 func (b *Buffer) Run(t *trace.Trace) {
 	for _, e := range t.Events {
-		n := e.Instructions()
-		b.now += n
-		b.stats.Instructions += n
-		if e.Kind == trace.Write {
-			b.write(e.Addr)
-		}
+		b.Step(e)
+	}
+}
+
+// Step advances the buffer's clock by one event's instruction count
+// and offers the event to the buffer if it is a write — Run, one event
+// at a time, for callers interleaving the buffer with other simulators.
+func (b *Buffer) Step(e trace.Event) {
+	n := e.Instructions()
+	b.now += n
+	b.stats.Instructions += n
+	if e.Kind == trace.Write {
+		b.write(e.Addr)
 	}
 }
 
@@ -152,6 +159,18 @@ func (b *Buffer) retireOne() {
 
 // Pending returns the number of buffered entries (for tests).
 func (b *Buffer) Pending() int { return len(b.fifo) }
+
+// PendingLineAddrs returns the byte addresses of the buffered lines,
+// oldest first, after draining entries whose retirement time has
+// passed. Fault injection uses it to strike a resident entry.
+func (b *Buffer) PendingLineAddrs() []uint32 {
+	b.drainUpTo(b.now)
+	out := make([]uint32, len(b.fifo))
+	for i, ln := range b.fifo {
+		out[i] = ln * uint32(b.cfg.LineSize)
+	}
+	return out
+}
 
 // ProbeRead reports whether a read of size bytes at addr would be
 // satisfied (forwarded) from a pending buffer entry. Fig 6 shows this

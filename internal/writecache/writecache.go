@@ -239,6 +239,31 @@ func (c *Cache) evictLine(lineNum uint32) {
 // Resident returns the number of occupied entries (for tests).
 func (c *Cache) Resident() int { return c.used }
 
+// ResidentEntry describes one occupied write-cache entry, for fault
+// injection and debugging tools.
+type ResidentEntry struct {
+	// LineAddr is the entry's byte address.
+	LineAddr uint32
+	// Dirty marks data the next level has not seen yet.
+	Dirty bool
+	// Full marks a complete captured-victim line image.
+	Full bool
+}
+
+// ResidentEntries lists the occupied entries in allocation order.
+func (c *Cache) ResidentEntries() []ResidentEntry {
+	out := make([]ResidentEntry, 0, c.used)
+	for i := 0; i < c.used; i++ {
+		e := c.entries[i]
+		out = append(out, ResidentEntry{
+			LineAddr: e.lineNum * uint32(c.cfg.LineSize),
+			Dirty:    e.dirty,
+			Full:     e.full,
+		})
+	}
+	return out
+}
+
 func (c *Cache) probeLine(ln uint32) bool {
 	for i := 0; i < c.used; i++ {
 		if c.entries[i].lineNum == ln {
