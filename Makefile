@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke bench
+.PHONY: build test check fuzz-smoke bench-smoke bench bench-all
 
 build:
 	$(GO) build ./...
@@ -9,15 +9,30 @@ test:
 	$(GO) test ./...
 
 # check is the pre-merge gate: static analysis, the full suite under
-# the race detector, and a short fuzz smoke over the trace decoders.
+# the race detector, a short fuzz smoke over the trace decoders, and a
+# single-iteration smoke of the sweep-engine benchmarks.
 check: build
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
+	$(MAKE) bench-smoke
 
 fuzz-smoke:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime 5s
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzStreamBinary$$' -fuzztime 5s
 
+# bench-smoke compiles and runs every sweep benchmark for one
+# iteration — fast enough for the gate, enough to catch bit-rot.
+bench-smoke:
+	$(GO) test ./internal/sweep -run '^$$' -bench 'BenchmarkSweep|BenchmarkGang' -benchtime 1x -benchmem
+
+# bench measures the gang sweep engine against the sequential baseline
+# on the full figure sweep and writes BENCH_sweep.json (wall clocks,
+# speedup, ns/event, allocs/event). See EXPERIMENTS.md for how to read
+# it.
 bench:
+	$(GO) run ./cmd/sweepbench -out BENCH_sweep.json
+
+# bench-all runs the complete per-figure/ablation benchmark suite.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...

@@ -28,16 +28,19 @@ const benchEventCap = 250_000
 var (
 	benchOnce   sync.Once
 	benchTraces []*trace.Trace
+	benchErr    error
 )
 
 // benchEnvTraces generates the six paper traces once and truncates each
-// to benchEventCap events.
+// to benchEventCap events. A generation failure is remembered and fails
+// every benchmark that needs the traces instead of crashing the run.
 func benchEnvTraces(b *testing.B) []*trace.Trace {
 	b.Helper()
 	benchOnce.Do(func() {
 		ts, err := workload.GenerateAll(1)
 		if err != nil {
-			panic(err)
+			benchErr = err
+			return
 		}
 		for i, t := range ts {
 			if t.Len() > benchEventCap {
@@ -46,6 +49,9 @@ func benchEnvTraces(b *testing.B) []*trace.Trace {
 		}
 		benchTraces = ts
 	})
+	if benchErr != nil {
+		b.Fatalf("generating benchmark traces: %v", benchErr)
+	}
 	return benchTraces
 }
 

@@ -3,6 +3,10 @@
 // the generic tool behind "plot metric X against parameter Y" studies
 // that go beyond the paper's fixed figures.
 //
+// The sweep is executed by the gang engine in internal/sweep: the
+// trace is streamed once per shard of configurations on a parallel
+// worker pool, rather than once per configuration.
+//
 // Usage:
 //
 //	cachesweep -workload ccom -sizes 1024,8192,65536 -lines 16,32 \
@@ -10,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -20,6 +25,7 @@ import (
 
 	"cachewrite/internal/cache"
 	"cachewrite/internal/core"
+	"cachewrite/internal/sweep"
 	"cachewrite/internal/trace"
 	"cachewrite/internal/workload"
 )
@@ -34,6 +40,8 @@ func main() {
 		assocs    = flag.String("assocs", "1", "associativities")
 		hits      = flag.String("hits", "wb", "write-hit policies (wt,wb)")
 		misses    = flag.String("misses", "fow,wv,wa,wi", "write-miss policies (fow,wv,wa,wi)")
+		workers   = flag.Int("workers", 0, "simulation worker pool size (0 = all CPUs)")
+		tcache    = flag.String("tracecache", "auto", "on-disk trace cache dir ('auto' = user cache dir, 'off' = disable)")
 	)
 	flag.Parse()
 
@@ -48,7 +56,7 @@ func main() {
 		tr, err = trace.ReadAuto(f)
 		f.Close()
 	case *wl != "":
-		tr, err = workload.Generate(*wl, *scale)
+		tr, err = workload.GenerateCached(workload.ResolveCacheDir(*tcache), *wl, *scale)
 	default:
 		fmt.Fprintln(os.Stderr, "cachesweep: need -workload or -trace")
 		os.Exit(2)
@@ -61,7 +69,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if err := runSweep(os.Stdout, tr, cfgs); err != nil {
+	if err := runSweep(os.Stdout, tr, cfgs, *workers); err != nil {
 		fail(err)
 	}
 }
@@ -120,8 +128,9 @@ func buildSweep(sizes, lines, assocs, hits, misses string) ([]cache.Config, erro
 	return cfgs, nil
 }
 
-// runSweep simulates every configuration and writes the CSV.
-func runSweep(w io.Writer, tr *trace.Trace, cfgs []cache.Config) error {
+// runSweep simulates every configuration with the gang engine and
+// writes the CSV in configuration order.
+func runSweep(w io.Writer, tr *trace.Trace, cfgs []cache.Config, workers int) error {
 	cw := csv.NewWriter(w)
 	header := []string{"size", "line", "assoc", "write_hit", "write_miss",
 		"miss_rate", "write_miss_pct", "writes_to_dirty_pct",
@@ -129,14 +138,12 @@ func runSweep(w io.Writer, tr *trace.Trace, cfgs []cache.Config) error {
 	if err := cw.Write(header); err != nil {
 		return err
 	}
-	for _, cfg := range cfgs {
-		c, err := cache.New(cfg)
-		if err != nil {
-			return err
-		}
-		c.AccessTrace(tr)
-		c.Flush()
-		s := c.Stats()
+	all, err := sweep.Sweep(context.Background(), []*trace.Trace{tr}, cfgs, sweep.Options{Workers: workers})
+	if err != nil {
+		return err
+	}
+	for i, cfg := range cfgs {
+		s := all[0][i]
 		inst := float64(s.Instructions)
 		row := []string{
 			strconv.Itoa(cfg.Size), strconv.Itoa(cfg.LineSize), strconv.Itoa(cfg.Assoc),

@@ -101,7 +101,7 @@ func TestRunSweepCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := runSweep(&buf, tr, cfgs); err != nil {
+	if err := runSweep(&buf, tr, cfgs, 2); err != nil {
 		t.Fatal(err)
 	}
 	records, err := csv.NewReader(&buf).ReadAll()

@@ -17,14 +17,16 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 1, "workload scale factor")
+	tcache := flag.String("tracecache", "auto", "on-disk trace cache dir ('auto' = user cache dir, 'off' = disable)")
 	flag.Parse()
 
+	cacheDir := workload.ResolveCacheDir(*tcache)
 	fmt.Printf("%-8s %12s %10s %10s %6s %7s %7s %9s %8s %8s\n",
 		"program", "instr", "reads", "writes", "r/w", "refs/i",
 		"dirty%", "missrate", "wm%miss", "gen")
 	for _, name := range workload.PaperOrder() {
 		start := time.Now()
-		t, err := workload.Generate(name, *scale)
+		t, err := workload.GenerateCached(cacheDir, name, *scale)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "calibrate:", err)
 			os.Exit(1)

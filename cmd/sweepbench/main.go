@@ -1,0 +1,180 @@
+// Command sweepbench measures the gang sweep engine against the
+// sequential per-configuration baseline on the full paper figure sweep
+// (experiments.SweepConfigs x the six benchmark traces) and writes a
+// JSON summary, the repository's tracked performance artifact:
+//
+//	go run ./cmd/sweepbench -out BENCH_sweep.json
+//
+// The JSON reports wall-clock for both engines, the speedup, ns and
+// allocations per config-event (one trace event applied to one cache
+// configuration), and the steady-state access-loop cost. `make bench`
+// runs it; EXPERIMENTS.md documents how to read the output.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"cachewrite/internal/cache"
+	"cachewrite/internal/experiments"
+	"cachewrite/internal/sweep"
+	"cachewrite/internal/trace"
+	"cachewrite/internal/workload"
+)
+
+// Report is the schema of BENCH_sweep.json.
+type Report struct {
+	// Sweep shape.
+	Traces       int   `json:"traces"`
+	Configs      int   `json:"configs"`
+	Events       int   `json:"events"`        // total trace events (one pass)
+	ConfigEvents int64 `json:"config_events"` // events x configs = simulated accesses
+	Workers      int   `json:"workers"`       // gang scheduler pool size (GOMAXPROCS when 0 was given)
+
+	// Whole-sweep wall clock (best observed iteration).
+	SequentialWallNs int64   `json:"sequential_wall_ns"`
+	GangWallNs       int64   `json:"gang_wall_ns"`
+	Speedup          float64 `json:"speedup"` // sequential / gang, wall-clock
+
+	// Normalized engine cost.
+	SequentialNsPerEvent float64 `json:"sequential_ns_per_event"`
+	GangNsPerEvent       float64 `json:"gang_ns_per_event"`
+	GangAllocsPerEvent   float64 `json:"gang_allocs_per_event"` // includes per-sweep setup
+
+	// Steady-state access loop (pre-built caches, no setup).
+	AccessNsPerEvent     float64 `json:"access_ns_per_event"`
+	AccessAllocsPerEvent float64 `json:"access_allocs_per_event"` // acceptance: 0
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_sweep.json", "output JSON path ('-' for stdout)")
+		scale   = flag.Int("scale", 1, "workload scale factor")
+		events  = flag.Int("events", 250_000, "per-trace event cap (0 = full traces)")
+		workers = flag.Int("workers", 0, "gang worker pool size (0 = all CPUs)")
+		tcache  = flag.String("tracecache", "auto", "on-disk trace cache dir ('auto' = user cache dir, 'off' = disable)")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	ts, err := workload.GenerateAllCached(workload.ResolveCacheDir(*tcache), *scale)
+	if err != nil {
+		fail(err)
+	}
+	for i, t := range ts {
+		if *events > 0 && t.Len() > *events {
+			ts[i] = t.Slice(0, *events)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sweepbench: traces ready in %s\n", time.Since(start).Round(time.Millisecond))
+
+	cfgs := experiments.SweepConfigs()
+	rep := measure(ts, cfgs, *workers)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweepbench: wrote %s\n", *out)
+	}
+	fmt.Fprintf(os.Stderr, "sweepbench: gang %.2fx vs sequential (%.1f -> %.1f ns/event), access loop %.1f ns/event, %.3g allocs/event\n",
+		rep.Speedup, rep.SequentialNsPerEvent, rep.GangNsPerEvent,
+		rep.AccessNsPerEvent, rep.AccessAllocsPerEvent)
+}
+
+// measure runs the three benchmarks and assembles the report.
+func measure(ts []*trace.Trace, cfgs []cache.Config, workers int) Report {
+	totalEvents := 0
+	for _, t := range ts {
+		totalEvents += t.Len()
+	}
+	configEvents := int64(totalEvents) * int64(len(cfgs))
+
+	seq := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, t := range ts {
+				for _, cfg := range cfgs {
+					c, err := cache.New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					c.AccessTrace(t)
+					c.Flush()
+					_ = c.Stats()
+				}
+			}
+		}
+	})
+
+	gang := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sweep.Sweep(context.Background(), ts, cfgs, sweep.Options{Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Steady-state access loop: pre-built gang, no per-sweep setup.
+	shard := cfgs
+	if len(shard) > sweep.DefaultShard {
+		shard = shard[:sweep.DefaultShard]
+	}
+	caches := make([]*cache.Cache, len(shard))
+	for i, cfg := range shard {
+		caches[i] = cache.MustNew(cfg)
+	}
+	access := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, e := range ts[0].Events {
+				for _, c := range caches {
+					c.Access(e)
+				}
+			}
+		}
+	})
+	accessEvents := int64(ts[0].Len()) * int64(len(shard))
+
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	seqNs := seq.NsPerOp()
+	gangNs := gang.NsPerOp()
+	return Report{
+		Traces:       len(ts),
+		Configs:      len(cfgs),
+		Events:       totalEvents,
+		ConfigEvents: configEvents,
+		Workers:      workers,
+
+		SequentialWallNs: seqNs,
+		GangWallNs:       gangNs,
+		Speedup:          float64(seqNs) / float64(gangNs),
+
+		SequentialNsPerEvent: float64(seqNs) / float64(configEvents),
+		GangNsPerEvent:       float64(gangNs) / float64(configEvents),
+		GangAllocsPerEvent:   float64(gang.AllocsPerOp()) / float64(configEvents),
+
+		AccessNsPerEvent:     float64(access.NsPerOp()) / float64(accessEvents),
+		AccessAllocsPerEvent: float64(access.AllocsPerOp()) / float64(accessEvents),
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sweepbench:", err)
+	os.Exit(1)
+}

@@ -57,6 +57,8 @@ type Cache struct {
 	cfg       Config
 	lines     []line // sets*assoc, way-major within a set
 	lineShift uint
+	lineSize  uint32 // cfg.LineSize, hoisted for the access hot loop
+	lineMask  uint32 // cfg.LineSize - 1
 	setMask   uint32
 	setShift  uint
 	fullMask  uint64
@@ -64,10 +66,16 @@ type Cache struct {
 	rng       uint64 // deterministic state for Random replacement
 	stats     Stats
 	backside  Backside
+	// victimObs caches the Backside's VictimObserver side, hoisting the
+	// per-eviction interface type assertion out of the hot loop.
+	victimObs VictimObserver
 }
 
 // SetBackside attaches a back-side traffic sink (nil detaches).
-func (c *Cache) SetBackside(b Backside) { c.backside = b }
+func (c *Cache) SetBackside(b Backside) {
+	c.backside = b
+	c.victimObs, _ = b.(VictimObserver)
+}
 
 // New builds a cache for the configuration.
 func New(cfg Config) (*Cache, error) {
@@ -79,6 +87,8 @@ func New(cfg Config) (*Cache, error) {
 		cfg:       cfg,
 		lines:     make([]line, sets*cfg.Assoc),
 		lineShift: uint(bits.TrailingZeros(uint(cfg.LineSize))),
+		lineSize:  uint32(cfg.LineSize),
+		lineMask:  uint32(cfg.LineSize - 1),
 		setMask:   uint32(sets - 1),
 		setShift:  uint(bits.TrailingZeros(uint(sets))),
 	}
@@ -136,17 +146,23 @@ func (c *Cache) Access(e trace.Event) {
 	}
 
 	res := spanResult{allHitDirty: true}
-	addr := e.Addr
-	remaining := uint32(e.Size)
-	for remaining > 0 {
-		off := addr & uint32(c.cfg.LineSize-1)
-		n := uint32(c.cfg.LineSize) - off
-		if n > remaining {
-			n = remaining
+	if off := e.Addr & c.lineMask; off+uint32(e.Size) <= c.lineSize {
+		// Fast path: the access stays within one line — the dominant
+		// case for the word-sized events the workloads emit.
+		c.accessSpan(e.Kind, e.Addr, off, uint32(e.Size), &res)
+	} else {
+		addr := e.Addr
+		remaining := uint32(e.Size)
+		for remaining > 0 {
+			off := addr & c.lineMask
+			n := c.lineSize - off
+			if n > remaining {
+				n = remaining
+			}
+			c.accessSpan(e.Kind, addr, off, n, &res)
+			addr += n
+			remaining -= n
 		}
-		c.accessSpan(e.Kind, addr, off, n, &res)
-		addr += n
-		remaining -= n
 	}
 
 	switch e.Kind {
@@ -190,7 +206,16 @@ func (c *Cache) accessSpan(kind trace.Kind, addr, off, n uint32, res *spanResult
 	mask := c.byteMask(off, n)
 	base := set * c.cfg.Assoc
 
-	way := c.findWay(base, tag)
+	// Direct-mapped lookup inlines to a single compare; the way loop is
+	// only needed for set-associative configurations.
+	way := 0
+	if c.cfg.Assoc == 1 {
+		if l := &c.lines[base]; l.valid == 0 || l.tag != tag {
+			way = -1
+		}
+	} else {
+		way = c.findWay(base, tag)
+	}
 	c.tick++
 
 	lineAddr := lineNum << c.lineShift
@@ -411,8 +436,8 @@ func (c *Cache) evict(set int, l *line) {
 		c.stats.VictimDirtyBytes += uint64(db)
 		c.writebackLine(c.lineAddrOf(set, l.tag), l.dirty)
 	}
-	if vo, ok := c.backside.(VictimObserver); ok {
-		vo.ObserveVictim(c.lineAddrOf(set, l.tag), c.cfg.LineSize, db)
+	if c.victimObs != nil {
+		c.victimObs.ObserveVictim(c.lineAddrOf(set, l.tag), c.cfg.LineSize, db)
 	}
 	*l = line{}
 }

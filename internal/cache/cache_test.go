@@ -510,3 +510,38 @@ func TestLineSize64FullMask(t *testing.T) {
 		t.Errorf("64B line valid mask %#x", st.Valid)
 	}
 }
+
+// TestLineCrossingSpans pins the slow path taken when an access spans
+// two cache lines (the fast path in Access covers everything else):
+// each line is probed independently but the event counts once.
+func TestLineCrossingSpans(t *testing.T) {
+	cfg := Config{Size: 1 << 10, LineSize: 4, Assoc: 1,
+		WriteHit: WriteBack, WriteMiss: FetchOnWrite}
+
+	c := MustNew(cfg)
+	c.Access(rd(0x104, 8)) // spans lines 0x104 and 0x108
+	s := c.Stats()
+	if s.ReadMissEvents != 1 || s.Fetches != 2 || s.FetchBytes != 8 {
+		t.Errorf("crossing read: events=%d fetches=%d bytes=%d, want 1/2/8",
+			s.ReadMissEvents, s.Fetches, s.FetchBytes)
+	}
+
+	c = MustNew(cfg)
+	c.Access(wr(0x104, 8))
+	s = c.Stats()
+	if s.WriteMissEvents != 1 || s.FetchedWriteMisses != 1 || s.Fetches != 2 {
+		t.Errorf("crossing write: events=%d fetched=%d fetches=%d, want 1/1/2",
+			s.WriteMissEvents, s.FetchedWriteMisses, s.Fetches)
+	}
+	if a, b := c.Probe(0x104), c.Probe(0x108); a.Dirty != 0xf || b.Dirty != 0xf {
+		t.Errorf("crossing write dirty masks %#x %#x, want 0xf 0xf", a.Dirty, b.Dirty)
+	}
+
+	// Unaligned odd-size crossing: bytes [2,4) of one line, [4,6) of the
+	// next — partial dirty masks on both sides.
+	c = MustNew(cfg)
+	c.Access(trace.Event{Addr: 0x102, Size: 4, Kind: trace.Write})
+	if a, b := c.Probe(0x100), c.Probe(0x104); a.Dirty != 0xc || b.Dirty != 0x3 {
+		t.Errorf("unaligned crossing dirty masks %#x %#x, want 0xc 0x3", a.Dirty, b.Dirty)
+	}
+}

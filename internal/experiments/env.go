@@ -6,10 +6,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"cachewrite/internal/cache"
+	"cachewrite/internal/sweep"
 	"cachewrite/internal/trace"
 	"cachewrite/internal/workload"
 )
@@ -29,13 +32,63 @@ const (
 	StdLineSize = 16
 )
 
+// memoKey identifies one memoized simulation. cache.Config is a flat
+// comparable struct, so the key works directly as a map key — no
+// fmt.Sprintf string building on the lookup path.
+type memoKey struct {
+	ti  int
+	cfg cache.Config
+}
+
+// shard spreads keys across the memo's lock shards.
+func (k memoKey) shard() int {
+	h := uint64(k.ti)
+	h = h<<7 ^ uint64(k.cfg.Size)
+	h = h<<7 ^ uint64(k.cfg.LineSize)
+	h = h<<7 ^ uint64(k.cfg.Assoc)
+	h = h<<3 ^ uint64(k.cfg.WriteHit)
+	h = h<<3 ^ uint64(k.cfg.WriteMiss)
+	h = h<<3 ^ uint64(k.cfg.Replacement)
+	h = h<<7 ^ uint64(k.cfg.ValidGranularity)
+	if k.cfg.SectorFetch {
+		h ^= 1 << 40
+	}
+	if k.cfg.WVMissWriteThrough {
+		h ^= 1 << 41
+	}
+	h *= 0x9e3779b97f4a7c15 // Fibonacci hash: mix all bits into the top
+	return int(h >> (64 - memoShardBits))
+}
+
+const (
+	memoShardBits = 6
+	memoShards    = 1 << memoShardBits
+)
+
+// memoEntry is one simulation result. The once gate gives exact
+// compute-once semantics under concurrent CacheStats calls for the
+// same key without holding any shard lock during the simulation.
+type memoEntry struct {
+	once  sync.Once
+	stats cache.Stats
+	err   error
+}
+
+// memoShard is one lock stripe of the memo.
+type memoShard struct {
+	mu sync.Mutex
+	m  map[memoKey]*memoEntry
+}
+
 // Env holds the benchmark traces and memoizes cache simulations so the
-// many figures sharing a configuration pay for it once.
+// many figures sharing a configuration pay for it once. The memo is
+// sharded so parallel figure runners do not serialize on a single
+// lock, and each key is computed exactly once even when raced.
 type Env struct {
 	Traces []*trace.Trace
 
-	mu   sync.Mutex
-	memo map[string]cache.Stats
+	shards   [memoShards]memoShard
+	computes atomic.Uint64
 }
 
 // NewEnv generates the six paper benchmarks at the given scale.
@@ -47,36 +100,75 @@ func NewEnv(scale int) (*Env, error) {
 	return NewEnvFromTraces(ts), nil
 }
 
+// NewEnvCached is NewEnv backed by the on-disk trace cache at cacheDir
+// (see workload.GenerateCached); an empty dir generates from scratch.
+func NewEnvCached(scale int, cacheDir string) (*Env, error) {
+	ts, err := workload.GenerateAllCached(cacheDir, scale)
+	if err != nil {
+		return nil, err
+	}
+	return NewEnvFromTraces(ts), nil
+}
+
 // NewEnvFromTraces wraps pre-generated traces (tests use this with
 // truncated traces).
 func NewEnvFromTraces(ts []*trace.Trace) *Env {
-	return &Env{Traces: ts, memo: make(map[string]cache.Stats)}
+	return &Env{Traces: ts}
+}
+
+// entry returns the memo entry for k, creating it if needed. The shard
+// lock is held only for the map access, never for a simulation.
+func (e *Env) entry(k memoKey) *memoEntry {
+	s := &e.shards[k.shard()]
+	s.mu.Lock()
+	ent := s.m[k]
+	if ent == nil {
+		if s.m == nil {
+			s.m = make(map[memoKey]*memoEntry)
+		}
+		ent = &memoEntry{}
+		s.m[k] = ent
+	}
+	s.mu.Unlock()
+	return ent
 }
 
 // CacheStats runs trace index ti through the configuration (with a
-// final flush) and memoizes the result.
+// final flush) and memoizes the result. Concurrent callers asking for
+// the same key compute it exactly once; callers with different keys
+// never serialize on each other's simulations.
 func (e *Env) CacheStats(ti int, cfg cache.Config) (cache.Stats, error) {
-	key := fmt.Sprintf("%d|%d|%d|%d|%d|%d", ti, cfg.Size, cfg.LineSize, cfg.Assoc, cfg.WriteHit, cfg.WriteMiss)
-	e.mu.Lock()
-	if s, ok := e.memo[key]; ok {
-		e.mu.Unlock()
-		return s, nil
-	}
-	e.mu.Unlock()
+	ent := e.entry(memoKey{ti, cfg})
+	ent.once.Do(func() {
+		ent.stats, ent.err = e.compute(ti, cfg)
+	})
+	return ent.stats, ent.err
+}
 
+// compute performs one uncached simulation.
+func (e *Env) compute(ti int, cfg cache.Config) (cache.Stats, error) {
+	e.computes.Add(1)
 	c, err := cache.New(cfg)
 	if err != nil {
 		return cache.Stats{}, fmt.Errorf("experiments: %s on %s: %w", cfg, e.Traces[ti].Name, err)
 	}
 	c.AccessTrace(e.Traces[ti])
 	c.Flush()
-	s := c.Stats()
-
-	e.mu.Lock()
-	e.memo[key] = s
-	e.mu.Unlock()
-	return s, nil
+	return c.Stats(), nil
 }
+
+// store seeds the memo with an externally computed result (the gang
+// precompute path). If the key was already computed the existing value
+// wins; gang and sequential results are bit-identical, so the outcome
+// is the same either way.
+func (e *Env) store(k memoKey, s cache.Stats) {
+	ent := e.entry(k)
+	ent.once.Do(func() { ent.stats = s })
+}
+
+// Computes reports how many simulations the environment has actually
+// run (memo misses). Tests use it to assert compute-once semantics.
+func (e *Env) Computes() uint64 { return e.computes.Load() }
 
 // stdConfig returns the baseline write-back fetch-on-write cache used
 // throughout §3 and §5.
@@ -99,11 +191,11 @@ func (e *Env) benchNames() []string {
 	return names
 }
 
-// sweepConfigs enumerates every cache configuration the paper figures
+// SweepConfigs enumerates every cache configuration the paper figures
 // consult: the capacity sweep at 16B lines and the line-size sweep at
 // 8KB, each under all four write-miss policies (no-allocate policies
 // paired with write-through, as in §4).
-func sweepConfigs() []cache.Config {
+func SweepConfigs() []cache.Config {
 	var cfgs []cache.Config
 	add := func(size, line int) {
 		for _, p := range cache.WriteMissPolicies() {
@@ -127,51 +219,27 @@ func sweepConfigs() []cache.Config {
 }
 
 // Precompute warms the simulation memo for the full figure sweep using
-// the given number of workers (values < 1 mean one worker). Running it
+// the given number of workers (values < 1 mean GOMAXPROCS). Running it
 // before a batch of experiments turns the figure runners into pure
 // lookups. It is safe to skip: every runner computes what it needs on
 // demand.
 func (e *Env) Precompute(workers int) error {
-	if workers < 1 {
-		workers = 1
+	return e.PrecomputeContext(context.Background(), workers)
+}
+
+// PrecomputeContext is Precompute with cancellation. The sweep is run
+// by the gang engine — each trace's event slice is streamed once for a
+// whole shard of configurations — on a bounded worker pool that
+// abandons remaining work on the first error or cancellation.
+func (e *Env) PrecomputeContext(ctx context.Context, workers int) error {
+	cfgs := SweepConfigs()
+	var units []sweep.Unit
+	for ti, t := range e.Traces {
+		units = append(units, sweep.Shard(ti, t, cfgs, 0)...)
 	}
-	type job struct {
-		ti  int
-		cfg cache.Config
-	}
-	var jobs []job
-	for ti := range e.Traces {
-		for _, cfg := range sweepConfigs() {
-			jobs = append(jobs, job{ti, cfg})
+	return sweep.Run(ctx, units, workers, func(u sweep.Unit, stats []cache.Stats) {
+		for i, s := range stats {
+			e.store(memoKey{u.TraceIndex, u.Cfgs[i]}, s)
 		}
-	}
-	ch := make(chan job)
-	errc := make(chan error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				if _, err := e.CacheStats(j.ti, j.cfg); err != nil {
-					select {
-					case errc <- err:
-					default:
-					}
-					return
-				}
-			}
-		}()
-	}
-	for _, j := range jobs {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
-	select {
-	case err := <-errc:
-		return err
-	default:
-		return nil
-	}
+	})
 }

@@ -308,7 +308,7 @@ func TestPrecomputeWarmsMemo(t *testing.T) {
 	// env's computation.)
 	fresh := syntheticEnv()
 	for ti := range env.Traces {
-		for _, cfg := range sweepConfigs() {
+		for _, cfg := range SweepConfigs() {
 			a, err := env.CacheStats(ti, cfg)
 			if err != nil {
 				t.Fatal(err)

@@ -1,0 +1,187 @@
+// Package sweep implements single-pass gang simulation: many cache
+// configurations driven by one walk over a shared trace, plus a bounded
+// parallel scheduler for running whole sweeps.
+//
+// Every figure in the paper's evaluation is a sweep — the same six
+// traces replayed across dozens of (size, line, policy) points. Walking
+// the event slice once per configuration reads the same trace memory N
+// times; the gang engine reads it once and fans each event out to a
+// gang of cache instances. Large gangs are sharded so each
+// (trace, config-shard) pair stays an independent unit of work for the
+// scheduler, keeping all cores busy without giving up the single-pass
+// memory behaviour within a unit.
+//
+// Caches simulated by a gang are completely independent, so gang
+// results are bit-identical to simulating each configuration on its
+// own (sweep_test.go pins this for every write-policy combination).
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cachewrite/internal/cache"
+	"cachewrite/internal/trace"
+)
+
+// DefaultShard is the default number of configurations driven by one
+// gang pass. Large enough to amortize the per-event fan-out loop,
+// small enough that a full paper sweep still splits into several times
+// more units than cores.
+const DefaultShard = 8
+
+// Gang simulates every configuration over the trace in a single pass
+// over its events, applying a final Flush to each cache (the
+// accounting the paper's flush-stop methodology and Env.CacheStats
+// use). It returns one Stats per configuration, in input order. The
+// results are bit-identical to running each configuration alone.
+func Gang(t *trace.Trace, cfgs []cache.Config) ([]cache.Stats, error) {
+	caches := make([]*cache.Cache, len(cfgs))
+	for i, cfg := range cfgs {
+		c, err := cache.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %s on %s: %w", cfg, t.Name, err)
+		}
+		caches[i] = c
+	}
+	for _, e := range t.Events {
+		for _, c := range caches {
+			c.Access(e)
+		}
+	}
+	out := make([]cache.Stats, len(caches))
+	for i, c := range caches {
+		c.Flush()
+		out[i] = c.Stats()
+	}
+	return out, nil
+}
+
+// Unit is one independent unit of scheduled work: one trace against a
+// shard of configurations.
+type Unit struct {
+	// TraceIndex identifies the trace within the caller's trace slice
+	// (carried through so collectors can file results).
+	TraceIndex int
+	// Trace is the reference stream to replay.
+	Trace *trace.Trace
+	// Cfgs is the configuration shard simulated in one gang pass.
+	Cfgs []cache.Config
+	// Base is the index of Cfgs[0] within the caller's full
+	// configuration slice.
+	Base int
+}
+
+// Shard splits cfgs into shards of at most size configurations and
+// pairs each with the trace, producing independent units. size < 1
+// uses DefaultShard. The shards partition cfgs in order (unit i covers
+// cfgs[i*size : (i+1)*size]).
+func Shard(ti int, t *trace.Trace, cfgs []cache.Config, size int) []Unit {
+	if size < 1 {
+		size = DefaultShard
+	}
+	units := make([]Unit, 0, (len(cfgs)+size-1)/size)
+	for base := 0; base < len(cfgs); base += size {
+		end := base + size
+		if end > len(cfgs) {
+			end = len(cfgs)
+		}
+		units = append(units, Unit{TraceIndex: ti, Trace: t, Cfgs: cfgs[base:end], Base: base})
+	}
+	return units
+}
+
+// Run executes the units on a bounded worker pool and reports each
+// unit's gang results through collect (which may be nil). Workers pull
+// units from a shared atomic cursor, so there is no producer goroutine
+// to strand: on the first error — or when ctx is cancelled — the
+// remaining units are abandoned and Run returns promptly with that
+// error. collect is called serially (under an internal lock), in
+// completion order. workers < 1 means GOMAXPROCS.
+func Run(ctx context.Context, units []Unit, workers int, collect func(Unit, []cache.Stats)) error {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		cursor   atomic.Int64
+		errOnce  sync.Once
+		firstErr error
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if gctx.Err() != nil {
+					return
+				}
+				i := int(cursor.Add(1)) - 1
+				if i >= len(units) {
+					return
+				}
+				u := units[i]
+				stats, err := Gang(u.Trace, u.Cfgs)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if collect != nil {
+					mu.Lock()
+					collect(u, stats)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Options tunes a Sweep.
+type Options struct {
+	// Workers is the scheduler pool size; < 1 means GOMAXPROCS.
+	Workers int
+	// Shard is the number of configurations per gang pass; < 1 means
+	// DefaultShard.
+	Shard int
+}
+
+// Sweep runs every configuration over every trace with the gang engine
+// on a bounded worker pool and returns stats indexed [trace][config],
+// matching the input slices. It is the single-call form of
+// Shard + Run for full cartesian sweeps.
+func Sweep(ctx context.Context, traces []*trace.Trace, cfgs []cache.Config, opt Options) ([][]cache.Stats, error) {
+	out := make([][]cache.Stats, len(traces))
+	var units []Unit
+	for ti, t := range traces {
+		out[ti] = make([]cache.Stats, len(cfgs))
+		units = append(units, Shard(ti, t, cfgs, opt.Shard)...)
+	}
+	err := Run(ctx, units, opt.Workers, func(u Unit, stats []cache.Stats) {
+		copy(out[u.TraceIndex][u.Base:], stats)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cachewrite/internal/trace"
+)
+
+// GeneratorVersion identifies the trace-generation algorithm across
+// all workloads. It is part of the on-disk trace-cache key: bump it
+// whenever any generator's output stream changes (new workload logic,
+// memsim layout changes, RNG changes) so stale cached traces are
+// regenerated instead of silently reused.
+const GeneratorVersion = 1
+
+// DefaultCacheDir returns the default on-disk trace cache location,
+// <user cache dir>/cachewrite/traces (e.g. ~/.cache/cachewrite/traces
+// on Linux).
+func DefaultCacheDir() (string, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("workload: no user cache dir: %w", err)
+	}
+	return filepath.Join(base, "cachewrite", "traces"), nil
+}
+
+// ResolveCacheDir maps a CLI -tracecache flag value to a cache
+// directory: "off" or "none" disables the cache (empty result), "" or
+// "auto" selects DefaultCacheDir, and anything else is used verbatim.
+// When the default directory cannot be determined the cache is
+// silently disabled — generation always still works.
+func ResolveCacheDir(flagVal string) string {
+	switch flagVal {
+	case "off", "none":
+		return ""
+	case "", "auto":
+		dir, err := DefaultCacheDir()
+		if err != nil {
+			return ""
+		}
+		return dir
+	default:
+		return flagVal
+	}
+}
+
+// CachePath returns the content-addressed file path for the trace of
+// (name, scale) under dir. The name and scale appear in the filename
+// for humans; the hash binds the file to the exact generator version,
+// so bumping GeneratorVersion invalidates every old entry.
+func CachePath(dir, name string, scale int) string {
+	scale = clampScale(scale)
+	sum := sha256.Sum256(fmt.Appendf(nil, "cwt1|gen%d|%s|scale%d", GeneratorVersion, name, scale))
+	return filepath.Join(dir, fmt.Sprintf("%s-s%d-%s.cwt", name, scale, hex.EncodeToString(sum[:8])))
+}
+
+// GenerateCached is Generate backed by the on-disk trace cache at dir:
+// a hit decodes the stored CWT1 file instead of re-executing the
+// workload; a miss generates the trace and stores it for next time.
+// An empty dir disables caching. Cache I/O failures never fail the
+// call — the freshly generated trace is returned regardless.
+func GenerateCached(dir, name string, scale int) (*trace.Trace, error) {
+	if dir == "" {
+		return Generate(name, scale)
+	}
+	path := CachePath(dir, name, scale)
+	if t, err := loadCached(path, name); err == nil {
+		return t, nil
+	}
+	t, err := Generate(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	// Best-effort store: a read-only or full disk must not break runs.
+	_ = storeCached(path, t)
+	return t, nil
+}
+
+// GenerateAllCached produces traces for the six paper benchmarks in
+// paper order through the cache at dir (empty dir disables caching).
+func GenerateAllCached(dir string, scale int) ([]*trace.Trace, error) {
+	var ts []*trace.Trace
+	for _, name := range PaperOrder() {
+		t, err := GenerateCached(dir, name, scale)
+		if err != nil {
+			return nil, err
+		}
+		ts = append(ts, t)
+	}
+	return ts, nil
+}
+
+// loadCached decodes a cached trace, rejecting files whose recorded
+// name does not match (hash collision or hand-copied file).
+func loadCached(path, name string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := trace.ReadBinary(f)
+	if err != nil {
+		return nil, err
+	}
+	if t.Name != name {
+		return nil, fmt.Errorf("workload: cached trace %s holds %q, want %q", path, t.Name, name)
+	}
+	return t, nil
+}
+
+// storeCached writes the trace atomically (temp file + rename) so a
+// crashed or concurrent run never leaves a torn cache entry behind.
+func storeCached(path string, t *trace.Trace) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := trace.WriteBinary(tmp, t); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

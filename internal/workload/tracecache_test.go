@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cachewrite/internal/trace"
+)
+
+func TestGenerateCachedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want, err := Generate("liver", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Miss: generates and stores.
+	got, err := GenerateCached(dir, "liver", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("cached-miss trace differs from direct generation")
+	}
+	path := CachePath(dir, "liver", 1)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("cache entry not written: %v", err)
+	}
+
+	// Hit: decodes the stored file and matches byte-for-byte.
+	got2, err := GenerateCached(dir, "liver", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatal("cache-hit trace differs from direct generation")
+	}
+}
+
+func TestGenerateCachedEmptyDirDisables(t *testing.T) {
+	got, err := GenerateCached("", "liver", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestGenerateCachedCorruptEntryRegenerates(t *testing.T) {
+	dir := t.TempDir()
+	path := CachePath(dir, "liver", 1)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("CWT1 garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Generate("liver", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GenerateCached(dir, "liver", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("regenerated trace differs after corrupt cache entry")
+	}
+	// The corrupt entry must have been replaced with a decodable one.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := trace.ReadBinary(f); err != nil {
+		t.Fatalf("cache entry still corrupt after regeneration: %v", err)
+	}
+}
+
+func TestGenerateCachedRejectsWrongName(t *testing.T) {
+	dir := t.TempDir()
+	// Store grr's trace where liver's entry should live.
+	grr, err := Generate("grr", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := storeCached(CachePath(dir, "liver", 1), grr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := GenerateCached(dir, "liver", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "liver" {
+		t.Fatalf("got trace %q, want regenerated liver", got.Name)
+	}
+}
+
+func TestCachePathKeying(t *testing.T) {
+	a := CachePath("d", "liver", 1)
+	if CachePath("d", "liver", 1) != a {
+		t.Fatal("CachePath is not deterministic")
+	}
+	if CachePath("d", "liver", 2) == a || CachePath("d", "grr", 1) == a {
+		t.Fatal("CachePath does not distinguish name/scale")
+	}
+	// Scale <= 0 is clamped to 1 everywhere, including the key.
+	if CachePath("d", "liver", 0) != a {
+		t.Fatal("CachePath(scale 0) should alias scale 1")
+	}
+	if !strings.Contains(a, "liver-s1-") {
+		t.Fatalf("CachePath %q lacks the human-readable prefix", a)
+	}
+}
+
+func TestGenerateAllCached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real workloads in -short mode")
+	}
+	dir := t.TempDir()
+	ts, err := GenerateAllCached(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != len(PaperOrder()) {
+		t.Fatalf("got %d traces, want %d", len(ts), len(PaperOrder()))
+	}
+	for i, name := range PaperOrder() {
+		if ts[i].Name != name {
+			t.Fatalf("trace %d is %q, want %q", i, ts[i].Name, name)
+		}
+	}
+	// Second pass is a pure cache hit and must agree.
+	ts2, err := GenerateAllCached(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ts {
+		if !reflect.DeepEqual(ts[i], ts2[i]) {
+			t.Fatalf("cache-hit trace %q differs", ts[i].Name)
+		}
+	}
+}
+
+func TestResolveCacheDir(t *testing.T) {
+	if got := ResolveCacheDir("off"); got != "" {
+		t.Fatalf("ResolveCacheDir(off) = %q", got)
+	}
+	if got := ResolveCacheDir("none"); got != "" {
+		t.Fatalf("ResolveCacheDir(none) = %q", got)
+	}
+	if got := ResolveCacheDir("/tmp/x"); got != "/tmp/x" {
+		t.Fatalf("ResolveCacheDir(/tmp/x) = %q", got)
+	}
+	def, err := DefaultCacheDir()
+	if err == nil {
+		if got := ResolveCacheDir("auto"); got != def {
+			t.Fatalf("ResolveCacheDir(auto) = %q, want %q", got, def)
+		}
+		if got := ResolveCacheDir(""); got != def {
+			t.Fatalf("ResolveCacheDir(\"\") = %q, want %q", got, def)
+		}
+	}
+}
