@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke bench-smoke bench bench-all
+.PHONY: build test check fuzz-smoke bench-smoke resilience-smoke bench bench-all
 
 build:
 	$(GO) build ./...
@@ -9,13 +9,15 @@ test:
 	$(GO) test ./...
 
 # check is the pre-merge gate: static analysis, the full suite under
-# the race detector, a short fuzz smoke over the trace decoders, and a
-# single-iteration smoke of the sweep-engine benchmarks.
+# the race detector, a short fuzz smoke over the trace decoders, a
+# single-iteration smoke of the sweep-engine benchmarks, and the
+# SIGKILL/resume crash-safety smoke.
 check: build
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-smoke
+	$(MAKE) resilience-smoke
 
 fuzz-smoke:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime 5s
@@ -25,6 +27,12 @@ fuzz-smoke:
 # iteration — fast enough for the gate, enough to catch bit-rot.
 bench-smoke:
 	$(GO) test ./internal/sweep -run '^$$' -bench 'BenchmarkSweep|BenchmarkGang' -benchtime 1x -benchmem
+
+# resilience-smoke SIGKILLs a checkpointed sweep mid-flight three
+# times, resumes it, and requires the final CSV to be byte-identical
+# to an uninterrupted run.
+resilience-smoke:
+	sh scripts/resilience_smoke.sh
 
 # bench measures the gang sweep engine against the sequential baseline
 # on the full figure sweep and writes BENCH_sweep.json (wall clocks,

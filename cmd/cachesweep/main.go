@@ -7,6 +7,11 @@
 // trace is streamed once per shard of configurations on a parallel
 // worker pool, rather than once per configuration.
 //
+// Long sweeps are crash-safe: with -checkpoint set, completed units
+// are journaled and a killed run (SIGKILL included) resumes instead of
+// restarting when re-invoked with the same flags. SIGINT/SIGTERM flush
+// a final checkpoint and exit with code 3.
+//
 // Usage:
 //
 //	cachesweep -workload ccom -sizes 1024,8192,65536 -lines 16,32 \
@@ -16,15 +21,20 @@ package main
 import (
 	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"cachewrite/internal/cache"
 	"cachewrite/internal/core"
+	"cachewrite/internal/resilience"
 	"cachewrite/internal/sweep"
 	"cachewrite/internal/trace"
 	"cachewrite/internal/workload"
@@ -32,18 +42,23 @@ import (
 
 func main() {
 	var (
-		wl        = flag.String("workload", "", "workload name")
-		traceFile = flag.String("trace", "", "trace file instead of a workload")
-		scale     = flag.Int("scale", 1, "workload scale factor")
-		sizes     = flag.String("sizes", "1024,2048,4096,8192,16384,32768,65536,131072", "cache sizes in bytes")
-		lines     = flag.String("lines", "16", "line sizes in bytes")
-		assocs    = flag.String("assocs", "1", "associativities")
-		hits      = flag.String("hits", "wb", "write-hit policies (wt,wb)")
-		misses    = flag.String("misses", "fow,wv,wa,wi", "write-miss policies (fow,wv,wa,wi)")
-		workers   = flag.Int("workers", 0, "simulation worker pool size (0 = all CPUs)")
-		tcache    = flag.String("tracecache", "auto", "on-disk trace cache dir ('auto' = user cache dir, 'off' = disable)")
+		wl         = flag.String("workload", "", "workload name")
+		traceFile  = flag.String("trace", "", "trace file instead of a workload")
+		scale      = flag.Int("scale", 1, "workload scale factor")
+		sizes      = flag.String("sizes", "1024,2048,4096,8192,16384,32768,65536,131072", "cache sizes in bytes")
+		lines      = flag.String("lines", "16", "line sizes in bytes")
+		assocs     = flag.String("assocs", "1", "associativities")
+		hits       = flag.String("hits", "wb", "write-hit policies (wt,wb)")
+		misses     = flag.String("misses", "fow,wv,wa,wi", "write-miss policies (fow,wv,wa,wi)")
+		workers    = flag.Int("workers", 0, "simulation worker pool size (0 = all CPUs)")
+		tcache     = flag.String("tracecache", "auto", "on-disk trace cache dir ('auto' = user cache dir, 'off' = disable)")
+		tcbudget   = flag.Int64("tracecache-budget", 0, "trace cache size budget in bytes, LRU-evicted (0 = unlimited)")
+		checkpoint = flag.String("checkpoint", "", "sweep checkpoint path for crash-safe resume ('' = off)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var tr *trace.Trace
 	var err error
@@ -56,7 +71,13 @@ func main() {
 		tr, err = trace.ReadAuto(f)
 		f.Close()
 	case *wl != "":
-		tr, err = workload.GenerateCached(workload.ResolveCacheDir(*tcache), *wl, *scale)
+		cacheDir := workload.ResolveCacheDir(*tcache)
+		tr, err = workload.GenerateCached(cacheDir, *wl, *scale)
+		if err == nil {
+			if _, berr := workload.EnforceBudget(cacheDir, *tcbudget); berr != nil {
+				fmt.Fprintln(os.Stderr, "cachesweep: warning: trace cache budget:", berr)
+			}
+		}
 	default:
 		fmt.Fprintln(os.Stderr, "cachesweep: need -workload or -trace")
 		os.Exit(2)
@@ -69,7 +90,32 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if err := runSweep(os.Stdout, tr, cfgs, *workers); err != nil {
+	opt := sweep.Options{
+		Workers:      *workers,
+		Checkpoint:   *checkpoint,
+		SoftDeadline: 2 * time.Minute,
+		Retries:      1,
+		OnEvent: func(e sweep.Event) {
+			switch e.Kind {
+			case sweep.UnitStalled:
+				fmt.Fprintf(os.Stderr, "cachesweep: warning: unit %s has made no progress for %s\n",
+					e.Unit, e.Idle.Round(time.Second))
+			case sweep.UnitRetried:
+				fmt.Fprintf(os.Stderr, "cachesweep: warning: unit %s attempt %d failed, retrying: %v\n",
+					e.Unit, e.Attempt, e.Err)
+			case sweep.JournalFallback:
+				fmt.Fprintf(os.Stderr, "cachesweep: warning: checkpoint: %v\n", e.Err)
+			}
+		},
+	}
+	if err := runSweep(ctx, os.Stdout, tr, cfgs, opt); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "cachesweep: interrupted")
+			if *checkpoint != "" {
+				fmt.Fprintln(os.Stderr, "cachesweep: progress saved; re-run the same command to resume")
+			}
+			os.Exit(resilience.ExitInterrupted)
+		}
 		fail(err)
 	}
 }
@@ -129,8 +175,11 @@ func buildSweep(sizes, lines, assocs, hits, misses string) ([]cache.Config, erro
 }
 
 // runSweep simulates every configuration with the gang engine and
-// writes the CSV in configuration order.
-func runSweep(w io.Writer, tr *trace.Trace, cfgs []cache.Config, workers int) error {
+// writes the CSV in configuration order. The CSV is written only after
+// the whole sweep completes, so an interrupted run emits no partial
+// rows — with opt.Checkpoint set its completed units are journaled and
+// the next run picks them up.
+func runSweep(ctx context.Context, w io.Writer, tr *trace.Trace, cfgs []cache.Config, opt sweep.Options) error {
 	cw := csv.NewWriter(w)
 	header := []string{"size", "line", "assoc", "write_hit", "write_miss",
 		"miss_rate", "write_miss_pct", "writes_to_dirty_pct",
@@ -138,7 +187,7 @@ func runSweep(w io.Writer, tr *trace.Trace, cfgs []cache.Config, workers int) er
 	if err := cw.Write(header); err != nil {
 		return err
 	}
-	all, err := sweep.Sweep(context.Background(), []*trace.Trace{tr}, cfgs, sweep.Options{Workers: workers})
+	all, err := sweep.Sweep(ctx, []*trace.Trace{tr}, cfgs, opt)
 	if err != nil {
 		return err
 	}

@@ -6,12 +6,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cachewrite/internal/cache"
+	"cachewrite/internal/resilience"
 	"cachewrite/internal/workload"
 )
 
@@ -20,11 +24,20 @@ func main() {
 	tcache := flag.String("tracecache", "auto", "on-disk trace cache dir ('auto' = user cache dir, 'off' = disable)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cacheDir := workload.ResolveCacheDir(*tcache)
 	fmt.Printf("%-8s %12s %10s %10s %6s %7s %7s %9s %8s %8s\n",
 		"program", "instr", "reads", "writes", "r/w", "refs/i",
 		"dirty%", "missrate", "wm%miss", "gen")
 	for _, name := range workload.PaperOrder() {
+		// Each benchmark row is seconds of work; checking between rows
+		// keeps ctrl-C responsive without touching the simulation loop.
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "calibrate: interrupted")
+			os.Exit(resilience.ExitInterrupted)
+		}
 		start := time.Now()
 		t, err := workload.GenerateCached(cacheDir, name, *scale)
 		if err != nil {

@@ -22,9 +22,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"cachewrite/internal/campaign"
 	"cachewrite/internal/faults"
+	"cachewrite/internal/resilience"
 )
 
 func main() {
@@ -63,9 +65,12 @@ func main() {
 		Seed:           *seed,
 		TraceEvents:    *events,
 		CheckpointPath: *checkpoint,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "faultcampaign: "+format+"\n", args...)
+		},
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -95,7 +100,7 @@ func main() {
 		printTable(res, ls)
 	}
 	if interrupted {
-		os.Exit(3)
+		os.Exit(resilience.ExitInterrupted)
 	}
 }
 

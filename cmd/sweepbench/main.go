@@ -14,15 +14,19 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"testing"
 	"time"
 
 	"cachewrite/internal/cache"
 	"cachewrite/internal/experiments"
+	"cachewrite/internal/resilience"
 	"cachewrite/internal/sweep"
 	"cachewrite/internal/trace"
 	"cachewrite/internal/workload"
@@ -62,6 +66,9 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
 	ts, err := workload.GenerateAllCached(workload.ResolveCacheDir(*tcache), *scale)
 	if err != nil {
@@ -75,7 +82,14 @@ func main() {
 	fmt.Fprintf(os.Stderr, "sweepbench: traces ready in %s\n", time.Since(start).Round(time.Millisecond))
 
 	cfgs := experiments.SweepConfigs()
-	rep := measure(ts, cfgs, *workers)
+	rep, err := measure(ctx, ts, cfgs, *workers)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "sweepbench: interrupted")
+		os.Exit(resilience.ExitInterrupted)
+	}
+	if err != nil {
+		fail(err)
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -95,17 +109,23 @@ func main() {
 		rep.AccessNsPerEvent, rep.AccessAllocsPerEvent)
 }
 
-// measure runs the three benchmarks and assembles the report.
-func measure(ts []*trace.Trace, cfgs []cache.Config, workers int) Report {
+// measure runs the three benchmarks and assembles the report. A
+// cancelled ctx stops between iterations and surfaces as
+// context.Canceled instead of a half-measured report.
+func measure(ctx context.Context, ts []*trace.Trace, cfgs []cache.Config, workers int) (Report, error) {
 	totalEvents := 0
 	for _, t := range ts {
 		totalEvents += t.Len()
 	}
 	configEvents := int64(totalEvents) * int64(len(cfgs))
 
+	var benchErr error
 	seq := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for _, t := range ts {
+				if benchErr = ctx.Err(); benchErr != nil {
+					return
+				}
 				for _, cfg := range cfgs {
 					c, err := cache.New(cfg)
 					if err != nil {
@@ -118,15 +138,22 @@ func measure(ts []*trace.Trace, cfgs []cache.Config, workers int) Report {
 			}
 		}
 	})
+	if benchErr != nil {
+		return Report{}, benchErr
+	}
 
 	gang := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := sweep.Sweep(context.Background(), ts, cfgs, sweep.Options{Workers: workers}); err != nil {
-				b.Fatal(err)
+			if _, err := sweep.Sweep(ctx, ts, cfgs, sweep.Options{Workers: workers}); err != nil {
+				benchErr = err
+				return
 			}
 		}
 	})
+	if benchErr != nil {
+		return Report{}, benchErr
+	}
 
 	// Steady-state access loop: pre-built gang, no per-sweep setup.
 	shard := cfgs
@@ -140,6 +167,9 @@ func measure(ts []*trace.Trace, cfgs []cache.Config, workers int) Report {
 	access := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
+			if benchErr = ctx.Err(); benchErr != nil {
+				return
+			}
 			for _, e := range ts[0].Events {
 				for _, c := range caches {
 					c.Access(e)
@@ -147,6 +177,9 @@ func measure(ts []*trace.Trace, cfgs []cache.Config, workers int) Report {
 			}
 		}
 	})
+	if benchErr != nil {
+		return Report{}, benchErr
+	}
 	accessEvents := int64(ts[0].Len()) * int64(len(shard))
 
 	if workers < 1 {
@@ -171,7 +204,7 @@ func measure(ts []*trace.Trace, cfgs []cache.Config, workers int) Report {
 
 		AccessNsPerEvent:     float64(access.NsPerOp()) / float64(accessEvents),
 		AccessAllocsPerEvent: float64(access.AllocsPerOp()) / float64(accessEvents),
-	}
+	}, nil
 }
 
 func fail(err error) {

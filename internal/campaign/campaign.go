@@ -12,24 +12,26 @@
 // t replays the same trace through every arm — so arm-to-arm deltas are
 // not confounded by trace sampling noise.
 //
-// Long campaigns checkpoint their progress atomically (temp file +
-// rename) and resume exactly: a resumed run continues from the last
-// completed trial and, because trial seeds are position-derived,
-// finishes with the same result an uninterrupted run would have
-// produced. Cancellation and deadlines arrive via context.Context.
+// Long campaigns checkpoint their progress through the shared
+// resilience journal (atomic temp-file + rename snapshots with a
+// checksummed header and fallback to the previous good snapshot) and
+// resume exactly: a resumed run continues from the last completed
+// trial and, because trial seeds are position-derived, finishes with
+// the same result an uninterrupted run would have produced. A corrupt
+// checkpoint falls back to the previous snapshot — or starts fresh —
+// instead of failing the campaign. Cancellation and deadlines arrive
+// via context.Context.
 package campaign
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 	"strings"
 
 	"cachewrite/internal/cache"
 	"cachewrite/internal/faults"
 	"cachewrite/internal/hierarchy"
+	"cachewrite/internal/resilience"
 	"cachewrite/internal/synth"
 	"cachewrite/internal/writebuffer"
 	"cachewrite/internal/writecache"
@@ -171,6 +173,9 @@ type Config struct {
 	// CheckpointEvery checkpoints after this many completed trials
 	// (default 16 when CheckpointPath is set).
 	CheckpointEvery int
+	// Logf, when non-nil, receives warnings (e.g. a corrupt checkpoint
+	// snapshot that was dropped in favor of the previous good one).
+	Logf func(format string, args ...any)
 }
 
 // Validate reports whether the configuration is runnable.
@@ -276,47 +281,45 @@ func (ck *checkpoint) matches(cfg Config) error {
 	return nil
 }
 
-// saveCheckpoint writes the checkpoint atomically: encode to a
-// temporary file in the same directory, then rename over the target,
-// so a crash mid-write never leaves a torn checkpoint.
-func saveCheckpoint(path string, ck *checkpoint) error {
-	data, err := json.MarshalIndent(ck, "", "  ")
-	if err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".campaign-ckpt-*")
-	if err != nil {
-		return err
-	}
-	_, werr := tmp.Write(append(data, '\n'))
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		if werr != nil {
-			return werr
-		}
-		return cerr
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+// checkpointVersion is the campaign checkpoint schema version
+// recorded in the journal header; bump it when checkpoint or
+// faults.HierarchyReport changes shape so stale snapshots read as
+// "start fresh" instead of misdecoding.
+const checkpointVersion = 1
+
+// checkpointJournal is the resilience journal campaigns persist
+// through: atomic snapshots, CRC-validated header, and fallback to the
+// previous good snapshot when the current one is corrupt.
+func checkpointJournal(path string) *resilience.Journal[checkpoint] {
+	return resilience.NewJournal[checkpoint](path, "campaign", checkpointVersion)
 }
 
-// loadCheckpoint reads a checkpoint if one exists; a missing file is
-// not an error (the campaign starts fresh).
-func loadCheckpoint(path string, cfg Config) (*checkpoint, error) {
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return nil, nil
-	}
+// saveCheckpoint persists the checkpoint through the journal.
+func saveCheckpoint(path string, ck *checkpoint) error {
+	return checkpointJournal(path).Save(*ck)
+}
+
+// loadCheckpoint reads the most recent good checkpoint if one exists.
+// A missing journal — or one corrupt beyond the previous-snapshot
+// fallback — is not an error: the campaign starts fresh (warnings go
+// to logf). A checkpoint for *different* campaign parameters is an
+// error: silently discarding it would surprise the user, who asked to
+// resume something else.
+func loadCheckpoint(path string, cfg Config, logf func(string, ...any)) (*checkpoint, error) {
+	ck, info, err := checkpointJournal(path).Load()
 	if err != nil {
-		return nil, err
-	}
-	var ck checkpoint
-	if err := json.Unmarshal(data, &ck); err != nil {
 		return nil, fmt.Errorf("campaign: checkpoint %s: %w", path, err)
+	}
+	if logf != nil {
+		for _, w := range info.Warnings {
+			logf("campaign: checkpoint %s: %s", path, w)
+		}
+		if info.Fallback {
+			logf("campaign: checkpoint %s: resumed from previous good snapshot (%d/%d trials)", path, ck.Done, ck.Trials)
+		}
+	}
+	if !info.Found {
+		return nil, nil
 	}
 	if err := ck.matches(cfg); err != nil {
 		return nil, err
@@ -358,7 +361,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		ck.ArmNames = append(ck.ArmNames, a.Name)
 	}
 	if cfg.CheckpointPath != "" {
-		prev, err := loadCheckpoint(cfg.CheckpointPath, cfg)
+		prev, err := loadCheckpoint(cfg.CheckpointPath, cfg, cfg.Logf)
 		if err != nil {
 			return Result{}, err
 		}
@@ -407,7 +410,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		}
 	}
 	if cfg.CheckpointPath != "" {
-		os.Remove(cfg.CheckpointPath)
+		_ = checkpointJournal(cfg.CheckpointPath).Remove()
 	}
 	return result(), nil
 }

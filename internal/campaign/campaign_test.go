@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -196,6 +197,81 @@ func TestRunCheckpointMidway(t *testing.T) {
 	if !bytes.Equal(mustJSON(t, res), mustJSON(t, want)) {
 		t.Fatalf("resume from trial 3 differs from uninterrupted run:\n%s\n----\n%s",
 			mustJSON(t, res), mustJSON(t, want))
+	}
+}
+
+// TestCheckpointCorruptFallsBack: a corrupt current snapshot must fall
+// back to the previous good one and still finish byte-identical to an
+// uninterrupted run; when both snapshots are corrupt the campaign
+// starts fresh instead of failing — with the same final result.
+func TestCheckpointCorruptFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "camp.ckpt")
+
+	cfg := testConfig(t, 6)
+	want, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two snapshots (Done=1 rotated to .prev, Done=2 current), then a
+	// corrupted current: resume must use the rotation.
+	mk := func(done int) *checkpoint {
+		prefix := cfg
+		prefix.Trials = done
+		pres, err := Run(context.Background(), prefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck := &checkpoint{Seed: cfg.Seed, Trials: cfg.Trials, TraceEvents: cfg.TraceEvents,
+			WritePct: 40, Done: done}
+		for _, a := range pres.Arms {
+			ck.ArmNames = append(ck.ArmNames, a.Name)
+			ck.Reports = append(ck.Reports, a.Report)
+		}
+		return ck
+	}
+	if err := saveCheckpoint(ckpt, mk(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := saveCheckpoint(ckpt, mk(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckpt, []byte("torn snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var warnings []string
+	cfg.CheckpointPath = ckpt
+	cfg.Logf = func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, res), mustJSON(t, want)) {
+		t.Fatal("fallback resume differs from uninterrupted run")
+	}
+	if len(warnings) == 0 {
+		t.Fatal("corrupt snapshot produced no warning")
+	}
+
+	// Both snapshots corrupt: start fresh, same result.
+	cfg2 := testConfig(t, 6)
+	cfg2.CheckpointPath = ckpt
+	if err := os.WriteFile(ckpt, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckpt+".prev", []byte("also torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run(context.Background(), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, res2), mustJSON(t, want)) {
+		t.Fatal("fresh start after double corruption differs from uninterrupted run")
 	}
 }
 

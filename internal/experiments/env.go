@@ -232,12 +232,22 @@ func (e *Env) Precompute(workers int) error {
 // whole shard of configurations — on a bounded worker pool that
 // abandons remaining work on the first error or cancellation.
 func (e *Env) PrecomputeContext(ctx context.Context, workers int) error {
+	return e.PrecomputeSweep(ctx, sweep.Options{Workers: workers})
+}
+
+// PrecomputeSweep is PrecomputeContext with the scheduler's full
+// option set: a non-empty opt.Checkpoint makes the figure sweep
+// crash-safe (completed units are journaled and a re-run resumes
+// instead of recomputing), opt.SoftDeadline arms the worker watchdog,
+// and opt.Retries bounds re-attempts of failed units. paperfigs uses
+// this to survive SIGKILL mid-sweep.
+func (e *Env) PrecomputeSweep(ctx context.Context, opt sweep.Options) error {
 	cfgs := SweepConfigs()
 	var units []sweep.Unit
 	for ti, t := range e.Traces {
-		units = append(units, sweep.Shard(ti, t, cfgs, 0)...)
+		units = append(units, sweep.Shard(ti, t, cfgs, opt.Shard)...)
 	}
-	return sweep.Run(ctx, units, workers, func(u sweep.Unit, stats []cache.Stats) {
+	return sweep.RunUnits(ctx, units, opt, func(u sweep.Unit, stats []cache.Stats) {
 		for i, s := range stats {
 			e.store(memoKey{u.TraceIndex, u.Cfgs[i]}, s)
 		}

@@ -1,0 +1,182 @@
+package resilience
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+type snap struct {
+	N     int      `json:"n"`
+	Names []string `json:"names"`
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	j := NewJournal[snap](filepath.Join(t.TempDir(), "j.ckpt"), "test", 1)
+	want := snap{N: 7, Names: []string{"a", "b"}}
+	if err := j.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	got, info, err := j.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Found || info.Fallback || len(info.Warnings) != 0 {
+		t.Fatalf("info = %+v, want clean load", info)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestJournalMissingIsNotFound(t *testing.T) {
+	j := NewJournal[snap](filepath.Join(t.TempDir(), "j.ckpt"), "test", 1)
+	_, info, err := j.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Found {
+		t.Fatal("found a snapshot in an empty directory")
+	}
+}
+
+// TestJournalCorruptFallsBack corrupts the current snapshot in several
+// ways; every one must fall back to the rotated previous snapshot.
+func TestJournalCorruptFallsBack(t *testing.T) {
+	corruptions := map[string]func(path string) error{
+		"truncated": func(path string) error {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(path, data[:len(data)-3], 0o644)
+		},
+		"bit-flip": func(path string) error {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			data[len(data)-2] ^= 0x40
+			return os.WriteFile(path, data, 0o644)
+		},
+		"garbage": func(path string) error {
+			return os.WriteFile(path, []byte("not a journal at all"), 0o644)
+		},
+		"empty": func(path string) error {
+			return os.WriteFile(path, nil, 0o644)
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			j := NewJournal[snap](filepath.Join(t.TempDir(), "j.ckpt"), "test", 1)
+			prev := snap{N: 1, Names: []string{"old"}}
+			if err := j.Save(prev); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Save(snap{N: 2, Names: []string{"new"}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := corrupt(j.Path()); err != nil {
+				t.Fatal(err)
+			}
+			got, info, err := j.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !info.Found || !info.Fallback {
+				t.Fatalf("info = %+v, want fallback load", info)
+			}
+			if len(info.Warnings) == 0 || !strings.Contains(info.Warnings[0], "unusable") {
+				t.Fatalf("warnings = %v, want corruption warning", info.Warnings)
+			}
+			if !reflect.DeepEqual(got, prev) {
+				t.Fatalf("got %+v, want previous snapshot %+v", got, prev)
+			}
+		})
+	}
+}
+
+func TestJournalBothCorruptReadsAsFresh(t *testing.T) {
+	j := NewJournal[snap](filepath.Join(t.TempDir(), "j.ckpt"), "test", 1)
+	if err := j.Save(snap{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Save(snap{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{j.Path(), j.Path() + prevSuffix} {
+		if err := os.WriteFile(p, []byte("zap"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, info, err := j.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Found {
+		t.Fatal("corrupt journal pair loaded as found")
+	}
+	if len(info.Warnings) != 2 {
+		t.Fatalf("warnings = %v, want one per corrupt snapshot", info.Warnings)
+	}
+}
+
+// TestJournalKindVersionMismatch: a snapshot from another tool or an
+// older schema must be ignored, not misdecoded.
+func TestJournalKindVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ckpt")
+	if err := NewJournal[snap](path, "sweep", 1).Save(snap{N: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, info, err := NewJournal[snap](path, "campaign", 1).Load(); err != nil || info.Found {
+		t.Fatalf("cross-kind load: found=%v err=%v, want ignored", info.Found, err)
+	}
+	if _, info, err := NewJournal[snap](path, "sweep", 2).Load(); err != nil || info.Found {
+		t.Fatalf("cross-version load: found=%v err=%v, want ignored", info.Found, err)
+	}
+}
+
+func TestJournalRemove(t *testing.T) {
+	j := NewJournal[snap](filepath.Join(t.TempDir(), "j.ckpt"), "test", 1)
+	if err := j.Save(snap{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Save(snap{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{j.Path(), j.Path() + prevSuffix} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("%s still exists after Remove", p)
+		}
+	}
+	// Removing an already-removed journal is fine.
+	if err := j.Remove(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalNoStrayTempFiles: every Save path must clean up its
+// temporary file.
+func TestJournalNoStrayTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	j := NewJournal[snap](filepath.Join(dir, "j.ckpt"), "test", 1)
+	for i := 0; i < 5; i++ {
+		if err := j.Save(snap{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".journal-") {
+			t.Fatalf("stray temp file %s left behind", e.Name())
+		}
+	}
+}

@@ -14,16 +14,28 @@
 // Caches simulated by a gang are completely independent, so gang
 // results are bit-identical to simulating each configuration on its
 // own (sweep_test.go pins this for every write-policy combination).
+//
+// Long sweeps are crash-safe: with Options.Checkpoint set, completed
+// (trace, config-shard) units are journaled through
+// internal/resilience, so a killed run re-invoked with the same sweep
+// resumes mid-gang and finishes with byte-identical results
+// (resume_test.go pins this). A heartbeat watchdog reports workers
+// stalled past a soft deadline, and failed units are retried with
+// backoff before the sweep surfaces a structured error.
 package sweep
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cachewrite/internal/cache"
+	"cachewrite/internal/resilience"
 	"cachewrite/internal/trace"
 )
 
@@ -39,6 +51,19 @@ const DefaultShard = 8
 // use). It returns one Stats per configuration, in input order. The
 // results are bit-identical to running each configuration alone.
 func Gang(t *trace.Trace, cfgs []cache.Config) ([]cache.Stats, error) {
+	return gang(context.Background(), t, cfgs, nil)
+}
+
+// pulseStride is how many trace events a gang processes between
+// watchdog heartbeats and cancellation checks. Small enough for
+// sub-second stall resolution, large enough to stay invisible in the
+// hot loop.
+const pulseStride = 8192
+
+// gang is Gang with a heartbeat: every pulseStride events it beats the
+// watchdog task (when non-nil) and polls ctx so cancellation lands
+// mid-unit instead of only between units.
+func gang(ctx context.Context, t *trace.Trace, cfgs []cache.Config, task *resilience.Task) ([]cache.Stats, error) {
 	caches := make([]*cache.Cache, len(cfgs))
 	for i, cfg := range cfgs {
 		c, err := cache.New(cfg)
@@ -47,9 +72,22 @@ func Gang(t *trace.Trace, cfgs []cache.Config) ([]cache.Stats, error) {
 		}
 		caches[i] = c
 	}
-	for _, e := range t.Events {
-		for _, c := range caches {
-			c.Access(e)
+	events := t.Events
+	for start := 0; start < len(events); start += pulseStride {
+		end := start + pulseStride
+		if end > len(events) {
+			end = len(events)
+		}
+		for _, e := range events[start:end] {
+			for _, c := range caches {
+				c.Access(e)
+			}
+		}
+		if task != nil {
+			task.Beat()
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 	}
 	out := make([]cache.Stats, len(caches))
@@ -94,6 +132,12 @@ func Shard(ti int, t *trace.Trace, cfgs []cache.Config, size int) []Unit {
 	return units
 }
 
+// Key identifies the unit stably across runs of the same sweep: the
+// journal files completed results under it.
+func (u Unit) Key() string {
+	return fmt.Sprintf("%s#%d/cfgs[%d:%d]", u.Trace.Name, u.TraceIndex, u.Base, u.Base+len(u.Cfgs))
+}
+
 // Run executes the units on a bounded worker pool and reports each
 // unit's gang results through collect (which may be nil). Workers pull
 // units from a shared atomic cursor, so there is no producer goroutine
@@ -102,21 +146,183 @@ func Shard(ti int, t *trace.Trace, cfgs []cache.Config, size int) []Unit {
 // error. collect is called serially (under an internal lock), in
 // completion order. workers < 1 means GOMAXPROCS.
 func Run(ctx context.Context, units []Unit, workers int, collect func(Unit, []cache.Stats)) error {
+	return RunUnits(ctx, units, Options{Workers: workers}, collect)
+}
+
+// EventKind classifies scheduler progress events.
+type EventKind uint8
+
+const (
+	// UnitDone: a unit was freshly simulated and collected.
+	UnitDone EventKind = iota
+	// UnitRestored: a unit's results were recovered from the checkpoint
+	// journal instead of being recomputed.
+	UnitRestored
+	// UnitRetried: a unit attempt failed and will be retried.
+	UnitRetried
+	// UnitStalled: the watchdog saw no heartbeat from a unit for longer
+	// than the soft deadline.
+	UnitStalled
+	// JournalFallback: the checkpoint journal was corrupt or stale and
+	// was (partially) discarded.
+	JournalFallback
+)
+
+// Event is one structured scheduler observation, delivered through
+// Options.OnEvent.
+type Event struct {
+	// Kind says what happened.
+	Kind EventKind
+	// Unit is the affected unit's Key (empty for journal-level events).
+	Unit string
+	// Attempt is the failed attempt number for UnitRetried.
+	Attempt int
+	// Idle is the no-progress duration for UnitStalled.
+	Idle time.Duration
+	// Err carries the failure for UnitRetried, or context for
+	// JournalFallback.
+	Err error
+}
+
+// Options tunes a Sweep.
+type Options struct {
+	// Workers is the scheduler pool size; < 1 means GOMAXPROCS.
+	Workers int
+	// Shard is the number of configurations per gang pass; < 1 means
+	// DefaultShard.
+	Shard int
+	// Checkpoint, when non-empty, makes the sweep crash-safe: completed
+	// unit results are journaled here (atomically, with CRC and
+	// previous-snapshot fallback), and a later run of the same sweep
+	// resumes from the journal instead of recomputing. The journal is
+	// removed when the sweep completes.
+	Checkpoint string
+	// CheckpointEvery snapshots the journal after this many newly
+	// completed units (default 4). Cancellation always flushes a final
+	// snapshot regardless.
+	CheckpointEvery int
+	// SoftDeadline is the per-unit stall threshold for the worker-pool
+	// watchdog: a unit making no progress for this long is reported via
+	// OnEvent (UnitStalled). Zero disables the watchdog.
+	SoftDeadline time.Duration
+	// Retries is how many times a failed unit is re-attempted (with
+	// exponential backoff) before the sweep fails with a structured
+	// *resilience.UnitError. Zero means fail on the first error.
+	Retries int
+	// RetryBackoff is the wait before a unit's first retry, doubling on
+	// each subsequent one (default 10ms).
+	RetryBackoff time.Duration
+	// OnEvent, when non-nil, receives structured progress events. It is
+	// called under the scheduler's collect lock — keep it fast.
+	OnEvent func(Event)
+}
+
+// journalVersion is the sweep checkpoint schema version; bump it when
+// journalState or cache.Stats changes shape.
+const journalVersion = 1
+
+// journalState is the persisted progress of a sweep: the fingerprint
+// binding it to one exact (traces, configs, sharding) request, and the
+// completed units' results.
+type journalState struct {
+	Fingerprint string                   `json:"fingerprint"`
+	Done        map[string][]cache.Stats `json:"done"`
+}
+
+// fingerprint binds a journal to the exact sweep that wrote it: trace
+// names and lengths, shard boundaries, and every configuration. Any
+// difference — reordered traces, a changed axis, different sharding —
+// changes the fingerprint, and the journal reads as stale.
+func fingerprint(units []Unit) string {
+	h := sha256.New()
+	for _, u := range units {
+		fmt.Fprintf(h, "%s|%d|%d|%d|", u.Trace.Name, u.Trace.Len(), u.TraceIndex, u.Base)
+		for _, cfg := range u.Cfgs {
+			fmt.Fprintf(h, "%s;", cfg)
+		}
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// RunUnits is Run with the full option set: checkpoint/resume through
+// the resilience journal, stall detection, and bounded retry. The
+// collect callback (may be nil) is called serially; restored units are
+// delivered through it before any fresh simulation starts.
+func RunUnits(ctx context.Context, units []Unit, opt Options, collect func(Unit, []cache.Stats)) error {
+	var mu sync.Mutex // serializes collect, state updates and OnEvent
+	emit := func(e Event) {
+		if opt.OnEvent != nil {
+			mu.Lock()
+			opt.OnEvent(e)
+			mu.Unlock()
+		}
+	}
+
+	// Load and replay the journal, if any.
+	var journal *resilience.Journal[journalState]
+	state := journalState{Done: map[string][]cache.Stats{}}
+	if opt.Checkpoint != "" {
+		journal = resilience.NewJournal[journalState](opt.Checkpoint, "sweep", journalVersion)
+		fp := fingerprint(units)
+		prev, info, err := journal.Load()
+		if err != nil {
+			return fmt.Errorf("sweep: checkpoint: %w", err)
+		}
+		for _, w := range info.Warnings {
+			emit(Event{Kind: JournalFallback, Err: fmt.Errorf("%s", w)})
+		}
+		if info.Found && prev.Fingerprint == fp && prev.Done != nil {
+			state = prev
+		} else if info.Found {
+			emit(Event{Kind: JournalFallback,
+				Err: fmt.Errorf("checkpoint %s belongs to a different sweep; starting fresh", opt.Checkpoint)})
+		}
+		state.Fingerprint = fp
+	}
+	var pending []Unit
+	for _, u := range units {
+		if stats, ok := state.Done[u.Key()]; ok && len(stats) == len(u.Cfgs) {
+			if collect != nil {
+				mu.Lock()
+				collect(u, stats)
+				mu.Unlock()
+			}
+			emit(Event{Kind: UnitRestored, Unit: u.Key()})
+			continue
+		}
+		pending = append(pending, u)
+	}
+
+	workers := opt.Workers
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(units) {
-		workers = len(units)
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	ckEvery := opt.CheckpointEvery
+	if ckEvery < 1 {
+		ckEvery = 4
 	}
 	gctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	watchdog := resilience.NewWatchdog(resilience.WatchdogConfig{
+		SoftDeadline: opt.SoftDeadline,
+		OnStall: func(s resilience.Stall) {
+			emit(Event{Kind: UnitStalled, Unit: s.Task, Idle: s.Idle})
+		},
+	})
+	defer watchdog.Stop()
+
 	var (
-		cursor   atomic.Int64
-		errOnce  sync.Once
-		firstErr error
-		mu       sync.Mutex
-		wg       sync.WaitGroup
+		cursor    atomic.Int64
+		errOnce   sync.Once
+		firstErr  error
+		saveErr   error
+		sinceSnap int
+		wg        sync.WaitGroup
 	)
 	fail := func(err error) {
 		errOnce.Do(func() {
@@ -133,43 +339,78 @@ func Run(ctx context.Context, units []Unit, workers int, collect func(Unit, []ca
 					return
 				}
 				i := int(cursor.Add(1)) - 1
-				if i >= len(units) {
+				if i >= len(pending) {
 					return
 				}
-				u := units[i]
-				stats, err := Gang(u.Trace, u.Cfgs)
+				u := pending[i]
+				key := u.Key()
+				task := watchdog.Begin(key)
+				var stats []cache.Stats
+				err := resilience.Retry(gctx, key,
+					resilience.RetryConfig{Attempts: opt.Retries + 1, Backoff: opt.RetryBackoff},
+					func() error {
+						var gerr error
+						stats, gerr = gang(gctx, u.Trace, u.Cfgs, task)
+						return gerr
+					},
+					func(attempt int, err error) {
+						emit(Event{Kind: UnitRetried, Unit: key, Attempt: attempt, Err: err})
+					})
+				watchdog.End(task)
 				if err != nil {
 					fail(err)
 					return
 				}
+				mu.Lock()
 				if collect != nil {
-					mu.Lock()
 					collect(u, stats)
-					mu.Unlock()
 				}
+				if journal != nil {
+					state.Done[key] = stats
+					sinceSnap++
+					if sinceSnap >= ckEvery && len(state.Done) < len(units) {
+						if err := journal.Save(state); err != nil && saveErr == nil {
+							saveErr = err
+						}
+						sinceSnap = 0
+					}
+				}
+				mu.Unlock()
+				emit(Event{Kind: UnitDone, Unit: key})
 			}
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return firstErr
-	}
-	return ctx.Err()
-}
 
-// Options tunes a Sweep.
-type Options struct {
-	// Workers is the scheduler pool size; < 1 means GOMAXPROCS.
-	Workers int
-	// Shard is the number of configurations per gang pass; < 1 means
-	// DefaultShard.
-	Shard int
+	err := firstErr
+	if err == nil {
+		err = ctx.Err()
+	}
+	if err == nil {
+		err = saveErr
+	}
+	if journal != nil {
+		if err != nil {
+			// Flush a final snapshot so the interrupted (or failed) run
+			// resumes from everything that did complete.
+			if serr := journal.Save(state); serr != nil {
+				return fmt.Errorf("sweep: interrupted and checkpoint flush failed: %w (run error: %v)", serr, err)
+			}
+			return err
+		}
+		if rerr := journal.Remove(); rerr != nil {
+			return fmt.Errorf("sweep: completed but checkpoint cleanup failed: %w", rerr)
+		}
+		return nil
+	}
+	return err
 }
 
 // Sweep runs every configuration over every trace with the gang engine
 // on a bounded worker pool and returns stats indexed [trace][config],
 // matching the input slices. It is the single-call form of
-// Shard + Run for full cartesian sweeps.
+// Shard + RunUnits for full cartesian sweeps, including the
+// checkpoint/resume, watchdog and retry behaviour of Options.
 func Sweep(ctx context.Context, traces []*trace.Trace, cfgs []cache.Config, opt Options) ([][]cache.Stats, error) {
 	out := make([][]cache.Stats, len(traces))
 	var units []Unit
@@ -177,7 +418,7 @@ func Sweep(ctx context.Context, traces []*trace.Trace, cfgs []cache.Config, opt 
 		out[ti] = make([]cache.Stats, len(cfgs))
 		units = append(units, Shard(ti, t, cfgs, opt.Shard)...)
 	}
-	err := Run(ctx, units, opt.Workers, func(u Unit, stats []cache.Stats) {
+	err := RunUnits(ctx, units, opt, func(u Unit, stats []cache.Stats) {
 		copy(out[u.TraceIndex][u.Base:], stats)
 	})
 	if err != nil {

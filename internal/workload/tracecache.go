@@ -3,9 +3,16 @@ package workload
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"cachewrite/internal/trace"
 )
@@ -16,6 +23,15 @@ import (
 // memsim layout changes, RNG changes) so stale cached traces are
 // regenerated instead of silently reused.
 const GeneratorVersion = 1
+
+// Logf receives trace-cache warnings: quarantined corrupt entries,
+// stores downgraded to in-memory generation by a full or read-only
+// disk, stray temp files swept at startup. The cache never fails a
+// run over its own I/O, so warnings are the only signal that it is
+// degraded. Tests may swap it; the default writes to stderr.
+var Logf = func(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "workload: "+format+"\n", args...)
+}
 
 // DefaultCacheDir returns the default on-disk trace cache location,
 // <user cache dir>/cachewrite/traces (e.g. ~/.cache/cachewrite/traces
@@ -58,26 +74,107 @@ func CachePath(dir, name string, scale int) string {
 	return filepath.Join(dir, fmt.Sprintf("%s-s%d-%s.cwt", name, scale, hex.EncodeToString(sum[:8])))
 }
 
+// quarantineSuffix is appended to corrupt cache entries moved aside
+// for post-mortem instead of being decoded again (or silently
+// deleted).
+const quarantineSuffix = ".quarantined"
+
+// tmpMaxAge is how old a stray temp file must be before the startup
+// sweep removes it; younger ones may belong to a concurrent run's
+// in-flight atomic write.
+const tmpMaxAge = 15 * time.Minute
+
+// sweptDirs remembers which cache directories this process has already
+// swept for stray temp files, so the sweep costs one ReadDir per dir
+// per process.
+var sweptDirs sync.Map
+
+// sweepTempFiles removes stray ".tmp-*" files older than tmpMaxAge
+// from dir — the leftovers of runs killed between creating the temp
+// file and renaming it into place. It runs once per directory per
+// process and reports how many files it removed.
+func sweepTempFiles(dir string) int {
+	if dir == "" {
+		return 0
+	}
+	if _, done := sweptDirs.LoadOrStore(dir, true); done {
+		return 0
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0 // missing dir: nothing to sweep
+	}
+	removed := 0
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), ".tmp-") || e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil || time.Since(info.ModTime()) < tmpMaxAge {
+			continue
+		}
+		if os.Remove(filepath.Join(dir, e.Name())) == nil {
+			removed++
+		}
+	}
+	if removed > 0 {
+		Logf("trace cache %s: removed %d stale temp file(s) from interrupted runs", dir, removed)
+	}
+	return removed
+}
+
 // GenerateCached is Generate backed by the on-disk trace cache at dir:
 // a hit decodes the stored CWT1 file instead of re-executing the
 // workload; a miss generates the trace and stores it for next time.
-// An empty dir disables caching. Cache I/O failures never fail the
-// call — the freshly generated trace is returned regardless.
+// An empty dir disables caching.
+//
+// The cache never fails the call. A corrupt or truncated entry is
+// quarantined (renamed aside with a ".quarantined" suffix) and the
+// trace regenerated; a store that fails — full disk, read-only cache,
+// permissions — downgrades to in-memory generation with a warning
+// through Logf. A hit refreshes the entry's modification time so
+// EnforceBudget evicts least-recently-used entries first.
 func GenerateCached(dir, name string, scale int) (*trace.Trace, error) {
 	if dir == "" {
 		return Generate(name, scale)
 	}
+	sweepTempFiles(dir)
 	path := CachePath(dir, name, scale)
-	if t, err := loadCached(path, name); err == nil {
+	t, lerr := loadCached(path, name)
+	if lerr == nil {
+		now := time.Now()
+		_ = os.Chtimes(path, now, now) // LRU bump; best effort
 		return t, nil
+	}
+	if !errors.Is(lerr, fs.ErrNotExist) {
+		// The entry exists but cannot be used: quarantine it for
+		// post-mortem so the next run does not trip over it again.
+		if qerr := os.Rename(path, path+quarantineSuffix); qerr != nil {
+			_ = os.Remove(path)
+		}
+		Logf("trace cache %s: quarantined corrupt entry and regenerating %s: %v", dir, name, lerr)
 	}
 	t, err := Generate(name, scale)
 	if err != nil {
 		return nil, err
 	}
-	// Best-effort store: a read-only or full disk must not break runs.
-	_ = storeCached(path, t)
+	if serr := storeCached(path, t); serr != nil {
+		Logf("trace cache %s: cannot store %s (%s); continuing with in-memory trace: %v",
+			dir, name, classifyStoreError(serr), serr)
+	}
 	return t, nil
+}
+
+// classifyStoreError names the downgrade cause for the warning line.
+func classifyStoreError(err error) string {
+	switch {
+	case errors.Is(err, syscall.ENOSPC):
+		return "disk full"
+	case errors.Is(err, fs.ErrPermission), errors.Is(err, syscall.EROFS):
+		return "no write permission"
+	default:
+		return "store failed"
+	}
 }
 
 // GenerateAllCached produces traces for the six paper benchmarks in
@@ -92,6 +189,71 @@ func GenerateAllCached(dir string, scale int) ([]*trace.Trace, error) {
 		ts = append(ts, t)
 	}
 	return ts, nil
+}
+
+// EnforceBudget prunes the cache directory to at most budget bytes of
+// ".cwt" entries, evicting least-recently-used entries first (cache
+// hits refresh modification times, so mtime order is use order). It
+// also drops quarantined entries beyond the budget. budget <= 0 or an
+// empty dir is a no-op. Returns how many files were evicted; I/O
+// errors are reported but never interrupt eviction.
+func EnforceBudget(dir string, budget int64) (int, error) {
+	if dir == "" || budget <= 0 {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var files []entry
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if !strings.HasSuffix(name, ".cwt") && !strings.HasSuffix(name, quarantineSuffix) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, entry{filepath.Join(dir, name), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	if total <= budget {
+		return 0, nil
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	evicted := 0
+	var firstErr error
+	for _, f := range files {
+		if total <= budget {
+			break
+		}
+		if err := os.Remove(f.path); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		total -= f.size
+		evicted++
+	}
+	if evicted > 0 {
+		Logf("trace cache %s: evicted %d least-recently-used entries to stay under %d-byte budget",
+			dir, evicted, budget)
+	}
+	return evicted, firstErr
 }
 
 // loadCached decodes a cached trace, rejecting files whose recorded
@@ -114,6 +276,8 @@ func loadCached(path, name string) (*trace.Trace, error) {
 
 // storeCached writes the trace atomically (temp file + rename) so a
 // crashed or concurrent run never leaves a torn cache entry behind.
+// The deferred Remove also reaps the temp file on every error path; a
+// run killed outright leaves it to the next run's sweepTempFiles.
 func storeCached(path string, t *trace.Trace) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {

@@ -1,14 +1,36 @@
 package workload
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"cachewrite/internal/trace"
 )
+
+// captureLogf swaps Logf for a collector for the test's duration.
+func captureLogf(t *testing.T) func() []string {
+	t.Helper()
+	var mu sync.Mutex
+	var lines []string
+	prev := Logf
+	Logf = func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	t.Cleanup(func() { Logf = prev })
+	return func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), lines...)
+	}
+}
 
 func TestGenerateCachedRoundTrip(t *testing.T) {
 	dir := t.TempDir()
@@ -51,6 +73,7 @@ func TestGenerateCachedEmptyDirDisables(t *testing.T) {
 }
 
 func TestGenerateCachedCorruptEntryRegenerates(t *testing.T) {
+	logs := captureLogf(t)
 	dir := t.TempDir()
 	path := CachePath(dir, "liver", 1)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -78,6 +101,209 @@ func TestGenerateCachedCorruptEntryRegenerates(t *testing.T) {
 	defer f.Close()
 	if _, err := trace.ReadBinary(f); err != nil {
 		t.Fatalf("cache entry still corrupt after regeneration: %v", err)
+	}
+	// The corrupt bytes must be quarantined for post-mortem, with a
+	// warning logged, not silently destroyed.
+	q, err := os.ReadFile(path + quarantineSuffix)
+	if err != nil {
+		t.Fatalf("corrupt entry not quarantined: %v", err)
+	}
+	if string(q) != "CWT1 garbage" {
+		t.Fatalf("quarantined bytes = %q", q)
+	}
+	found := false
+	for _, l := range logs() {
+		if strings.Contains(l, "quarantined") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no quarantine warning logged; logs: %v", logs())
+	}
+}
+
+// TestGenerateCachedTruncatedEntryRegenerates: a torn (truncated)
+// CWT1 entry — the shape a full disk or kill-during-copy leaves — is
+// quarantined and regenerated, not fatal.
+func TestGenerateCachedTruncatedEntryRegenerates(t *testing.T) {
+	captureLogf(t)
+	dir := t.TempDir()
+	want, err := GenerateCached(dir, "liver", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := CachePath(dir, "liver", 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := GenerateCached(dir, "liver", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("regenerated trace differs after truncated cache entry")
+	}
+	if _, err := os.Stat(path + quarantineSuffix); err != nil {
+		t.Fatalf("truncated entry not quarantined: %v", err)
+	}
+}
+
+// TestGenerateCachedReadOnlyDirDowngrades: when the cache directory
+// cannot be written the run continues on the in-memory trace with a
+// warning — it must never fail.
+func TestGenerateCachedReadOnlyDirDowngrades(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("root ignores directory permissions")
+	}
+	logs := captureLogf(t)
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chmod(dir, 0o755) })
+	got, err := GenerateCached(dir, "liver", 1)
+	if err != nil {
+		t.Fatalf("read-only cache dir failed the run: %v", err)
+	}
+	if got.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	found := false
+	for _, l := range logs() {
+		if strings.Contains(l, "in-memory") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no downgrade warning logged; logs: %v", logs())
+	}
+}
+
+// TestSweepTempFiles: stale .tmp-* leftovers from killed runs are
+// removed on first cache use; fresh ones (a concurrent run's in-flight
+// write) and real entries are kept.
+func TestSweepTempFiles(t *testing.T) {
+	captureLogf(t)
+	dir := t.TempDir()
+	stale := filepath.Join(dir, ".tmp-12345")
+	fresh := filepath.Join(dir, ".tmp-67890")
+	keep := filepath.Join(dir, "liver-s1-feedface.cwt")
+	for _, p := range []string{stale, fresh, keep} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * tmpMaxAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateCached(dir, "liver", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale temp file survived the sweep (stat err %v)", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh temp file was swept: %v", err)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Errorf("cache entry was swept: %v", err)
+	}
+}
+
+// TestEnforceBudgetLRU: eviction removes least-recently-used entries
+// first and stops as soon as the directory fits the budget.
+func TestEnforceBudgetLRU(t *testing.T) {
+	captureLogf(t)
+	dir := t.TempDir()
+	mk := func(name string, age time.Duration) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, make([]byte, 1000), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		when := time.Now().Add(-age)
+		if err := os.Chtimes(p, when, when); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldest := mk("a-s1-00.cwt", 3*time.Hour)
+	middle := mk("b-s1-01.cwt", 2*time.Hour)
+	newest := mk("c-s1-02.cwt", time.Hour)
+	other := filepath.Join(dir, "unrelated.txt")
+	if err := os.WriteFile(other, make([]byte, 4000), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	evicted, err := EnforceBudget(dir, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted != 1 {
+		t.Fatalf("evicted %d entries, want 1", evicted)
+	}
+	if _, err := os.Stat(oldest); !os.IsNotExist(err) {
+		t.Error("oldest entry survived eviction")
+	}
+	for _, p := range []string{middle, newest, other} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("%s wrongly evicted: %v", p, err)
+		}
+	}
+	// Under budget: no-op. Disabled budget: no-op.
+	if n, err := EnforceBudget(dir, 1<<30); err != nil || n != 0 {
+		t.Fatalf("under-budget eviction = %d, %v", n, err)
+	}
+	if n, err := EnforceBudget(dir, 0); err != nil || n != 0 {
+		t.Fatalf("disabled budget eviction = %d, %v", n, err)
+	}
+}
+
+// TestEnforceBudgetHitRefreshesLRU: a cache hit must protect the entry
+// from eviction ahead of colder entries.
+func TestEnforceBudgetHitRefreshesLRU(t *testing.T) {
+	captureLogf(t)
+	dir := t.TempDir()
+	if _, err := GenerateCached(dir, "liver", 1); err != nil {
+		t.Fatal(err)
+	}
+	hot := CachePath(dir, "liver", 1)
+	// Age the real entry, then add a newer decoy; a hit on the real
+	// entry must out-recent the decoy.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(hot, old, old); err != nil {
+		t.Fatal(err)
+	}
+	cold := filepath.Join(dir, "decoy-s1-00.cwt")
+	if err := os.WriteFile(cold, []byte("decoy"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateCached(dir, "liver", 1); err != nil { // hit: bumps mtime
+		t.Fatal(err)
+	}
+	info, err := os.Stat(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.ModTime().After(old.Add(time.Minute)) {
+		t.Fatalf("cache hit did not refresh mtime (still %v)", info.ModTime())
+	}
+	hotSize, err := os.Stat(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EnforceBudget(dir, hotSize.Size()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(hot); err != nil {
+		t.Errorf("recently hit entry was evicted: %v", err)
+	}
+	if _, err := os.Stat(cold); !os.IsNotExist(err) {
+		t.Errorf("cold decoy survived eviction (stat err %v)", err)
 	}
 }
 

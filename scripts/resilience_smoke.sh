@@ -1,0 +1,69 @@
+#!/bin/sh
+# resilience_smoke.sh — end-to-end crash-safety check for the sweep
+# checkpoint journal: run a golden (uninterrupted) cachesweep, then run
+# the same sweep with a checkpoint and SIGKILL it mid-flight a few
+# times, resume to completion, and require the resumed CSV to be
+# byte-identical to the golden one. `make resilience-smoke` runs this;
+# it is part of `make check`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+bin="$work/cachesweep"
+go build -o "$bin" ./cmd/cachesweep
+
+# One shared trace cache: the golden run pays for trace generation, the
+# kill/resume attempts hit the cache so every SIGKILL lands in the
+# sweep itself rather than in generation.
+args="-workload ccom -scale 2 -workers 2 -lines 16,32 -tracecache $work/tracecache"
+
+echo "resilience-smoke: golden run"
+# shellcheck disable=SC2086
+"$bin" $args > "$work/golden.csv"
+
+ckpt="$work/sweep.ckpt"
+kills=0
+max_kills=3
+attempt=0
+echo "resilience-smoke: kill/resume loop (SIGKILL x$max_kills)"
+while :; do
+    attempt=$((attempt + 1))
+    if [ "$attempt" -gt 10 ]; then
+        echo "resilience-smoke: FAIL — sweep never completed after $attempt attempts" >&2
+        exit 1
+    fi
+    set +e
+    # shellcheck disable=SC2086
+    "$bin" $args -checkpoint "$ckpt" > "$work/resumed.csv" 2> "$work/stderr.log" &
+    pid=$!
+    if [ "$kills" -lt "$max_kills" ]; then
+        sleep 0.5
+        kill -9 "$pid" 2>/dev/null
+    fi
+    wait "$pid"
+    rc=$?
+    set -e
+    if [ "$rc" -eq 0 ]; then
+        break
+    fi
+    kills=$((kills + 1))
+    echo "resilience-smoke: attempt $attempt killed (exit $rc), resuming"
+done
+
+if [ "$kills" -eq 0 ]; then
+    echo "resilience-smoke: FAIL — no attempt was killed; sweep too fast for the kill window" >&2
+    exit 1
+fi
+if [ -e "$ckpt" ]; then
+    echo "resilience-smoke: FAIL — completed sweep left its checkpoint behind" >&2
+    exit 1
+fi
+if ! cmp -s "$work/golden.csv" "$work/resumed.csv"; then
+    echo "resilience-smoke: FAIL — resumed CSV differs from uninterrupted run" >&2
+    diff "$work/golden.csv" "$work/resumed.csv" | head -20 >&2
+    exit 1
+fi
+echo "resilience-smoke: OK — survived $kills SIGKILLs, resumed byte-identical"
