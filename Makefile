@@ -1,46 +1,65 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke bench-smoke resilience-smoke bench bench-all
+.PHONY: build test check lint require-go fuzz-smoke bench-smoke resilience-smoke bench bench-all
 
-build:
+# require-go fails fast with a clear message when the Go toolchain is
+# missing or $(GO) points at a nonexistent binary, instead of letting
+# each target die with its own cryptic "command not found".
+require-go:
+	@command -v $(GO) >/dev/null 2>&1 || { \
+		echo "error: Go toolchain '$(GO)' not found in PATH; install Go or set GO=/path/to/go" >&2; \
+		exit 1; \
+	}
+
+build: require-go
 	$(GO) build ./...
 
-test:
+test: require-go
 	$(GO) test ./...
 
-# check is the pre-merge gate: static analysis, the full suite under
+# lint runs the repository's own analyzer suite (see docs/simlint.md):
+# nopanic, hotpath, sentinelerr, determinism, ctxloop. Always ./... —
+# hotpath facts are collected module-wide, so subset runs can report
+# false positives for cross-package hot calls.
+lint: require-go
+	$(GO) run ./cmd/simlint ./...
+
+# check is the pre-merge gate: simlint, go vet, the full suite under
 # the race detector, a short fuzz smoke over the trace decoders, a
 # single-iteration smoke of the sweep-engine benchmarks, and the
-# SIGKILL/resume crash-safety smoke.
+# SIGKILL/resume crash-safety smoke. Lint runs before the race suite
+# so invariant violations fail in seconds, not minutes.
 check: build
+	$(MAKE) lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) resilience-smoke
+	@echo "check: gates passed: build lint vet race fuzz-smoke bench-smoke resilience-smoke"
 
-fuzz-smoke:
+fuzz-smoke: require-go
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime 5s
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzStreamBinary$$' -fuzztime 5s
 
 # bench-smoke compiles and runs every sweep benchmark for one
 # iteration — fast enough for the gate, enough to catch bit-rot.
-bench-smoke:
+bench-smoke: require-go
 	$(GO) test ./internal/sweep -run '^$$' -bench 'BenchmarkSweep|BenchmarkGang' -benchtime 1x -benchmem
 
 # resilience-smoke SIGKILLs a checkpointed sweep mid-flight three
 # times, resumes it, and requires the final CSV to be byte-identical
 # to an uninterrupted run.
-resilience-smoke:
-	sh scripts/resilience_smoke.sh
+resilience-smoke: require-go
+	GO="$(GO)" sh scripts/resilience_smoke.sh
 
 # bench measures the gang sweep engine against the sequential baseline
 # on the full figure sweep and writes BENCH_sweep.json (wall clocks,
 # speedup, ns/event, allocs/event). See EXPERIMENTS.md for how to read
 # it.
-bench:
+bench: require-go
 	$(GO) run ./cmd/sweepbench -out BENCH_sweep.json
 
 # bench-all runs the complete per-figure/ablation benchmark suite.
-bench-all:
+bench-all: require-go
 	$(GO) test -bench=. -benchmem ./...

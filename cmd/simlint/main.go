@@ -1,0 +1,94 @@
+// Command simlint runs the repository's custom static-analysis suite
+// (internal/simlint) over Go packages and reports every engine
+// invariant violation: panics in engine packages, allocations on the
+// //simlint:hotpath closure, ==/!= sentinel comparisons, sources of
+// non-determinism in result-producing packages, and worker loops that
+// cannot observe cancellation.
+//
+// Usage:
+//
+//	simlint [-C dir] [-analyzers a,b] [-list] [packages...]
+//
+// With no package arguments it checks ./... . Exit status is 0 when
+// the tree is clean, 1 when diagnostics were reported, and 2 when the
+// analysis itself failed. `make lint` (and therefore `make check`)
+// runs it over the whole module.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cachewrite/internal/simlint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "change to `dir` before analyzing")
+	names := fs.String("analyzers", "", "comma-separated `subset` of analyzers to run (default all)")
+	list := fs.Bool("list", false, "list the available analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := simlint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *names != "" {
+		byName := map[string]*simlint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*names, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "simlint: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	mod, err := simlint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	diags, err := simlint.RunAnalyzers(mod, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		if cwd != "" {
+			if rel, rerr := filepath.Rel(cwd, d.Pos.Filename); rerr == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+		}
+		fmt.Fprintln(stdout, d)
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(stderr, "simlint: %d issue(s) in %d package(s) checked\n", n, len(mod.Packages))
+		return 1
+	}
+	fmt.Fprintf(stderr, "simlint: clean (%d package(s), %d analyzer(s))\n", len(mod.Packages), len(analyzers))
+	return 0
+}

@@ -106,6 +106,9 @@ func New(cfg Config) (*Cache, error) {
 func MustNew(cfg Config) *Cache {
 	c, err := New(cfg)
 	if err != nil {
+		// Documented must-style constructor: reaching this panic means a
+		// hard-coded configuration table is wrong, not a runtime input.
+		//simlint:allow nopanic must-style constructor for known-good config tables
 		panic(err)
 	}
 	return c
@@ -136,6 +139,13 @@ type spanResult struct {
 }
 
 // Access simulates one trace event.
+//
+// It runs once per event for every gang member of every sweep, so it
+// and everything it calls must stay allocation-free:
+// TestAccessZeroAlloc pins that at runtime and the simlint hotpath
+// analyzer pins it at compile time.
+//
+//simlint:hotpath
 func (c *Cache) Access(e trace.Event) {
 	c.stats.Instructions += e.Instructions()
 	switch e.Kind {

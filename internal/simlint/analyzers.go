@@ -1,0 +1,50 @@
+package simlint
+
+// EnginePackages are the simulation-engine packages that must stay
+// panic-free: every failure is reported through sentinel errors
+// (memsim.ErrLimit, memsim.ErrPageCross, trace.ErrBadMagic, ...) so a
+// bad configuration or trace can never take down a sweep worker. The
+// meta-test in scope_test.go pins each entry to an existing package so
+// a rename cannot silently shrink coverage.
+var EnginePackages = []string{
+	"internal/cache",
+	"internal/memsim",
+	"internal/hierarchy",
+	"internal/writebuffer",
+	"internal/writecache",
+	"internal/bus",
+	"internal/timing",
+	"internal/sweep",
+}
+
+// DeterministicPackages produce results (figures, tables, campaign
+// reports, checkpoint journals) that must be byte-identical across
+// runs and resumes; nothing order-, time- or globally-random-dependent
+// may reach their output.
+var DeterministicPackages = []string{
+	"internal/sweep",
+	"internal/experiments",
+	"internal/campaign",
+	"internal/stats",
+}
+
+// WorkerLoopPackages host long-running worker loops that must honor
+// the pulseStride cancellation contract: every iteration observes the
+// context (or an equivalent done channel) so cancellation lands
+// mid-unit, not only between units.
+var WorkerLoopPackages = []string{
+	"internal/sweep",
+	"internal/campaign",
+	"internal/resilience",
+}
+
+// All returns every simlint analyzer, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NoPanic,
+		Hotpath,
+		SentinelErr,
+		Determinism,
+		CtxLoop,
+	}
+}

@@ -1,0 +1,31 @@
+package simlint_test
+
+import (
+	"testing"
+
+	"cachewrite/internal/simlint"
+	"cachewrite/internal/simlint/simlinttest"
+)
+
+func TestNoPanic(t *testing.T) {
+	simlinttest.Run(t, simlint.NoPanic, "nopanic")
+}
+
+func TestHotpath(t *testing.T) {
+	// hotpathdep is loaded first so the app package can import it and
+	// so the dep's //simlint:hotpath facts are collected before the
+	// app's hot roots are walked.
+	simlinttest.Run(t, simlint.Hotpath, "hotpathdep", "hotpath")
+}
+
+func TestSentinelErr(t *testing.T) {
+	simlinttest.Run(t, simlint.SentinelErr, "sentinelerr")
+}
+
+func TestDeterminism(t *testing.T) {
+	simlinttest.Run(t, simlint.Determinism, "determinism")
+}
+
+func TestCtxLoop(t *testing.T) {
+	simlinttest.Run(t, simlint.CtxLoop, "ctxloop")
+}

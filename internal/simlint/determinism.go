@@ -1,0 +1,76 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism guards the byte-identical-output contract of the
+// result-producing packages: sweeps, experiments, campaigns and stats
+// must emit the same bytes for the same seed, across runs and across
+// checkpoint resumes (resume_test.go and the campaign tests pin this
+// end to end). The analyzer rejects, in those packages:
+//
+//   - ranging over a map (iteration order leaks into any ordered
+//     output; iterate a sorted key slice instead),
+//   - time.Now/time.Since (wall-clock values in results),
+//   - math/rand's global-source functions (unseeded; use a
+//     seeded *rand.Rand),
+//   - filepath.Walk/WalkDir (directory contents feeding results must
+//     be gathered and sorted explicitly).
+//
+// Uses that provably cannot reach output (e.g. a map range whose
+// results are sorted before emission) are annotated
+// //simlint:allow determinism with the reason.
+var Determinism = &Analyzer{
+	Name:     "determinism",
+	Doc:      "no map-order, wall-clock or unseeded-rand dependence in result-producing packages",
+	Packages: DeterministicPackages,
+	Run:      runDeterminism,
+}
+
+// randConstructors build explicitly seeded generators and are the
+// sanctioned way to use math/rand.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						pass.Reportf(n.Pos(), "map iteration order is non-deterministic and %s produces results; iterate a sorted key slice", pass.PkgPath)
+					}
+				}
+
+			case *ast.CallExpr:
+				fn := usedFunc(pass.Info, n)
+				if fn == nil {
+					return true
+				}
+				sig, _ := fn.Type().(*types.Signature)
+				isMethod := sig != nil && sig.Recv() != nil
+				switch path := calleePath(fn); path {
+				case "time":
+					if !isMethod && (fn.Name() == "Now" || fn.Name() == "Since") {
+						pass.Reportf(n.Pos(), "time.%s in a result-producing package; wall-clock values are non-deterministic", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if !isMethod && !randConstructors[fn.Name()] {
+						pass.Reportf(n.Pos(), "%s.%s uses the global rand source; inject a seeded *rand.Rand instead", path, fn.Name())
+					}
+				case "path/filepath":
+					if fn.Name() == "Walk" || fn.Name() == "WalkDir" {
+						pass.Reportf(n.Pos(), "filepath.%s feeding results must gather and sort entries explicitly", fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hotpath enforces the zero-allocation contract on functions marked
+// //simlint:hotpath and on everything they statically call: the cache
+// access loop runs once per trace event across every gang member, so
+// a single stray allocation multiplies into millions and shows up
+// directly in ns/event (TestAccessZeroAlloc pins the runtime truth;
+// this analyzer pins it at compile time, for every build).
+//
+// Inside the hot-path closure the analyzer rejects the constructs that
+// allocate or defeat escape analysis: calls into package fmt, the
+// append/make/new builtins, map/slice composite literals, closures
+// (func literals), string<->[]byte/[]rune conversions, and interface
+// boxing of concrete values (in call arguments, assignments and
+// returns). Static calls must stay inside the closure: a call into
+// another package is only legal when the callee is itself marked
+// //simlint:hotpath (the marks are collected module-wide before any
+// package is checked) or belongs to a whitelisted allocation-free
+// package (math/bits). Calls through interfaces dispatch dynamically
+// and are accepted — annotate the concrete implementations instead.
+var Hotpath = &Analyzer{
+	Name:    hotpathName,
+	Doc:     "functions marked //simlint:hotpath (and their static callees) may not allocate",
+	Collect: collectHotpath,
+	Run:     runHotpath,
+}
+
+// hotpathName is the analyzer name, also the Facts namespace the
+// collect phase writes //simlint:hotpath marks under (a named
+// constant so the collect hook does not refer back to the Analyzer
+// value, which would be an initialization cycle).
+const hotpathName = "hotpath"
+
+// hotpathSafePackages never allocate in any exported call.
+var hotpathSafePackages = map[string]bool{
+	"math/bits": true,
+	"math":      true,
+}
+
+// collectHotpath records the FullName of every //simlint:hotpath
+// function, module-wide, so cross-package calls between hot functions
+// resolve during the run phase.
+func collectHotpath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !HasFuncDirective(fn, HotpathDirective) {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+				pass.Facts.Set(hotpathName, obj.FullName())
+			}
+		}
+	}
+	return nil
+}
+
+func runHotpath(pass *Pass) error {
+	// Index this package's function declarations by object, so static
+	// same-package calls can be followed into their bodies.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var roots []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+				decls[obj] = fn
+			}
+			if HasFuncDirective(fn, HotpathDirective) {
+				roots = append(roots, fn)
+			}
+		}
+	}
+
+	visited := map[*ast.FuncDecl]bool{}
+	var check func(fn *ast.FuncDecl, root string)
+	check = func(fn *ast.FuncDecl, root string) {
+		if visited[fn] {
+			return
+		}
+		visited[fn] = true
+		if fn.Body == nil {
+			return
+		}
+		w := &hotpathWalker{pass: pass, root: root, decls: decls, check: check, results: funcResults(pass.Info, fn)}
+		ast.Inspect(fn.Body, w.visit)
+	}
+	for _, fn := range roots {
+		check(fn, fn.Name.Name)
+	}
+	return nil
+}
+
+// funcResults returns the declared result types of fn, for boxing
+// checks on return statements.
+func funcResults(info *types.Info, fn *ast.FuncDecl) []types.Type {
+	obj, ok := info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := obj.Type().(*types.Signature)
+	out := make([]types.Type, sig.Results().Len())
+	for i := range out {
+		out[i] = sig.Results().At(i).Type()
+	}
+	return out
+}
+
+// hotpathWalker reports allocation sites in one hot-path function
+// body.
+type hotpathWalker struct {
+	pass    *Pass
+	root    string // the hotpath root this function is reached from
+	decls   map[*types.Func]*ast.FuncDecl
+	check   func(fn *ast.FuncDecl, root string)
+	results []types.Type
+}
+
+func (w *hotpathWalker) visit(n ast.Node) bool {
+	pass := w.pass
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		pass.Reportf(n.Pos(), "closure in hot path (reached from %s): func literals allocate", w.root)
+		return false // the literal is already rejected; don't double-report its body
+
+	case *ast.CompositeLit:
+		if tv, ok := pass.Info.Types[n]; ok {
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal in hot path (reached from %s) allocates", w.root)
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal in hot path (reached from %s) allocates", w.root)
+			}
+		}
+
+	case *ast.CallExpr:
+		w.call(n)
+
+	case *ast.ValueSpec:
+		if len(n.Names) == len(n.Values) {
+			for i, v := range n.Values {
+				w.boxing(v, pass.Info.TypeOf(n.Names[i]), "declaration")
+			}
+		}
+
+	case *ast.AssignStmt:
+		for i, rhs := range n.Rhs {
+			if len(n.Lhs) != len(n.Rhs) {
+				break // multi-value RHS: conversion to interface impossible here
+			}
+			lt := pass.Info.TypeOf(n.Lhs[i])
+			w.boxing(rhs, lt, "assignment")
+		}
+
+	case *ast.ReturnStmt:
+		if len(n.Results) == len(w.results) {
+			for i, res := range n.Results {
+				w.boxing(res, w.results[i], "return")
+			}
+		}
+	}
+	return true
+}
+
+// call checks one call expression: builtins that allocate, type
+// conversions that allocate, fmt, and the static-callee closure rule.
+func (w *hotpathWalker) call(call *ast.CallExpr) {
+	pass := w.pass
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				pass.Reportf(call.Pos(), "append in hot path (reached from %s) may grow and allocate", w.root)
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s in hot path (reached from %s) allocates", b.Name(), w.root)
+			}
+			return
+		}
+	}
+
+	// Conversions: string <-> []byte/[]rune allocate; conversion to an
+	// interface type boxes.
+	if tv, ok := pass.Info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := pass.Info.TypeOf(call.Args[0])
+		if isStringSliceConv(dst, src) {
+			pass.Reportf(call.Pos(), "string/slice conversion in hot path (reached from %s) allocates", w.root)
+		}
+		w.boxing(call.Args[0], dst, "conversion")
+		return
+	}
+
+	fn := usedFunc(pass.Info, call)
+	if fn != nil {
+		sig := fn.Type().(*types.Signature)
+		// Interface method call: dynamic dispatch, checked at the
+		// implementations.
+		if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type()) {
+			w.callArgs(call, sig)
+			return
+		}
+		switch path := calleePath(fn); {
+		case path == "fmt":
+			pass.Reportf(call.Pos(), "fmt.%s in hot path (reached from %s) allocates", fn.Name(), w.root)
+			return
+		case path == pass.PkgPath || path == pass.Types.Path():
+			if decl, ok := w.decls[fn]; ok {
+				w.check(decl, w.root)
+			}
+		case hotpathSafePackages[path]:
+			// whitelisted allocation-free package
+		case pass.Facts.Has(hotpathName, fn.FullName()):
+			// cross-package callee carries its own //simlint:hotpath mark
+		default:
+			pass.Reportf(call.Pos(), "hot path (reached from %s) calls %s, which is outside the package and not marked //simlint:hotpath", w.root, fn.FullName())
+			return
+		}
+		w.callArgs(call, sig)
+		return
+	}
+
+	// Indirect call through a function value: arguments can still box.
+	if sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature); ok {
+		w.callArgs(call, sig)
+	}
+}
+
+// callArgs flags concrete arguments passed to interface parameters.
+func (w *hotpathWalker) callArgs(call *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarded slice: no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		w.boxing(arg, pt, "argument")
+	}
+}
+
+// boxing reports expr when it is a concrete, non-nil value placed
+// into an interface-typed slot.
+func (w *hotpathWalker) boxing(expr ast.Expr, target types.Type, what string) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	tv, ok := w.pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if types.IsInterface(tv.Type) {
+		return // interface-to-interface: no box
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	w.pass.Reportf(expr.Pos(), "interface boxing in hot path (reached from %s): %s %s converted to %s allocates", w.root, what, tv.Type, target)
+}
+
+// isStringSliceConv reports a conversion between string and a byte or
+// rune slice (either direction), which copies and allocates.
+func isStringSliceConv(dst, src types.Type) bool {
+	return (isString(dst) && isByteOrRuneSlice(src)) || (isString(src) && isByteOrRuneSlice(dst))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32
+}

@@ -1,0 +1,287 @@
+package simlint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Module     *struct{ Path, Dir string }
+	Error      *struct{ Err string }
+}
+
+// Module is a loaded, type-checked set of packages sharing one
+// FileSet — the unit RunAnalyzers operates on.
+type Module struct {
+	// Path is the module path (e.g. "cachewrite").
+	Path string
+	// Dir is the module root directory.
+	Dir string
+	// Fset positions every file in every package.
+	Fset *token.FileSet
+	// Packages are the matched (non-dependency) packages, sorted by
+	// import path.
+	Packages []*Package
+}
+
+// Load lists patterns in dir with the go tool, parses every matched
+// package's non-test Go files and type-checks them against compiled
+// export data for their dependencies. It needs no network and no
+// modules beyond the standard library: dependency type information
+// comes from `go list -export` build-cache artifacts, decoded by the
+// standard gc importer.
+//
+// Test files (*_test.go) are not loaded: the simulator's invariants
+// are engine contracts, and tests legitimately panic, measure time
+// and exercise error paths.
+func Load(dir string, patterns ...string) (*Module, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,ImportMap,Standard,DepOnly,Incomplete,Module,Error",
+		"--"}, patterns...)
+	cmd := exec.Command(goTool(), args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("simlint: go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	importMap := map[string]string{}
+	var targets []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if derr := dec.Decode(&p); errors.Is(derr, io.EOF) {
+			break
+		} else if derr != nil {
+			return nil, fmt.Errorf("simlint: decoding go list output: %w", derr)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("simlint: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		for from, to := range p.ImportMap {
+			importMap[from] = to
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("simlint: no packages matched %s", strings.Join(patterns, " "))
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	mod := &Module{Dir: dir, Fset: token.NewFileSet()}
+	if targets[0].Module != nil {
+		mod.Path = targets[0].Module.Path
+		mod.Dir = targets[0].Module.Dir
+	}
+	imp := exportImporter(mod.Fset, exports, importMap)
+	for _, t := range targets {
+		if len(t.CgoFiles) > 0 {
+			return nil, fmt.Errorf("simlint: package %s uses cgo, which the loader does not support", t.ImportPath)
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, perr := parser.ParseFile(mod.Fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if perr != nil {
+				return nil, fmt.Errorf("simlint: %w", perr)
+			}
+			files = append(files, f)
+		}
+		pkg, cerr := newPackage(t.ImportPath, mod.Fset, files, imp)
+		if cerr != nil {
+			return nil, fmt.Errorf("simlint: type-checking %s: %w", t.ImportPath, cerr)
+		}
+		mod.Packages = append(mod.Packages, pkg)
+	}
+	return mod, nil
+}
+
+// goTool returns the go command to invoke, honoring $GO so the
+// Makefile's GO override reaches programmatic runs too.
+func goTool() string {
+	if g := os.Getenv("GO"); g != "" {
+		return g
+	}
+	return "go"
+}
+
+// exportImporter builds a types.Importer that resolves every import
+// from the compiled export data files `go list -export` reported.
+// importMap carries vendor/test redirections (source import path →
+// resolved path).
+func exportImporter(fset *token.FileSet, exports, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if to, ok := importMap[path]; ok {
+			path = to
+		}
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// newPackage type-checks one package's parsed files and scans its
+// simlint directives. Shared by the module loader and the
+// simlinttest harness.
+func newPackage(pkgPath string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{
+		PkgPath: pkgPath,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		allow:   map[string]map[int][]string{},
+	}
+	p.scanDirectives()
+	return p, nil
+}
+
+// CheckPackage type-checks parsed files as package pkgPath with the
+// given importer and scans simlint directives — the entry point for
+// the simlinttest harness, which loads testdata packages the go tool
+// cannot see.
+func CheckPackage(pkgPath string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*Package, error) {
+	return newPackage(pkgPath, fset, files, imp)
+}
+
+// RunOnPackages runs the analyzers over explicitly loaded packages
+// with package scoping disabled: harness packages exercise analyzer
+// logic regardless of where the rule applies in the real module.
+func RunOnPackages(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return runAnalyzers("", pkgs, analyzers, false)
+}
+
+// TestImporter resolves imports for harness-loaded packages: standard
+// library packages through lazily fetched `go list -export` data, and
+// sibling testdata packages registered with Add.
+type TestImporter struct {
+	exports   map[string]string
+	importMap map[string]string
+	extra     map[string]*types.Package
+	gc        types.Importer
+}
+
+// NewTestImporter returns an importer whose lookups run `go list` in
+// dir (any directory inside a module) on first use of each new
+// import path.
+func NewTestImporter(fset *token.FileSet, dir string) *TestImporter {
+	ti := &TestImporter{
+		exports:   map[string]string{},
+		importMap: map[string]string{},
+		extra:     map[string]*types.Package{},
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if to, ok := ti.importMap[path]; ok {
+			path = to
+		}
+		if _, ok := ti.exports[path]; !ok {
+			if err := ti.fetch(dir, path); err != nil {
+				return nil, err
+			}
+		}
+		f, ok := ti.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	ti.gc = importer.ForCompiler(fset, "gc", lookup)
+	return ti
+}
+
+// Add registers a source-checked package so later harness packages can
+// import it by path.
+func (ti *TestImporter) Add(pkg *types.Package) { ti.extra[pkg.Path()] = pkg }
+
+// Import implements types.Importer.
+func (ti *TestImporter) Import(path string) (*types.Package, error) {
+	if p, ok := ti.extra[path]; ok {
+		return p, nil
+	}
+	return ti.gc.Import(path)
+}
+
+// fetch populates export-data locations for path and its entire
+// dependency closure.
+func (ti *TestImporter) fetch(dir, path string) error {
+	cmd := exec.Command(goTool(), "list", "-export", "-deps",
+		"-json=ImportPath,Export,ImportMap", "--", path)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list -export %s: %w\n%s", path, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if derr := dec.Decode(&p); errors.Is(derr, io.EOF) {
+			break
+		} else if derr != nil {
+			return derr
+		}
+		if p.Export != "" {
+			ti.exports[p.ImportPath] = p.Export
+		}
+		for from, to := range p.ImportMap {
+			ti.importMap[from] = to
+		}
+	}
+	return nil
+}

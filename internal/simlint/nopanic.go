@@ -1,0 +1,59 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPanic forbids panic, log.Fatal*/log.Panic* (package-level or on a
+// *log.Logger) and os.Exit inside the engine packages. The engine's
+// contract since the fault-injection PR is that every failure travels
+// through error returns — sentinel errors matched with errors.Is — so
+// one bad unit can never abort a whole sweep or campaign. Truly
+// unreachable states may be annotated //simlint:allow nopanic with a
+// justification.
+var NoPanic = &Analyzer{
+	Name:     "nopanic",
+	Doc:      "forbid panic/log.Fatal/os.Exit in engine packages; failures must be error returns",
+	Packages: EnginePackages,
+	Run:      runNoPanic,
+}
+
+// fatalLogNames are the log functions/methods that terminate or panic.
+var fatalLogNames = map[string]bool{
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+}
+
+func runNoPanic(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					pass.Reportf(call.Pos(), "panic in engine package %s; return an error (sentinel + errors.Is) instead", pass.PkgPath)
+					return true
+				}
+			}
+			fn := usedFunc(pass.Info, call)
+			if fn == nil {
+				return true
+			}
+			switch calleePath(fn) {
+			case "os":
+				if fn.Name() == "Exit" {
+					pass.Reportf(call.Pos(), "os.Exit in engine package %s; only the CLI layer may choose exit codes", pass.PkgPath)
+				}
+			case "log":
+				if fatalLogNames[fn.Name()] {
+					pass.Reportf(call.Pos(), "log.%s in engine package %s; return an error instead of terminating", fn.Name(), pass.PkgPath)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

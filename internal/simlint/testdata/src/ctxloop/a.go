@@ -1,0 +1,75 @@
+// Package ctxloop seeds violations and counterexamples for the
+// ctxloop analyzer.
+package ctxloop
+
+import "context"
+
+func spins(ctx context.Context, work chan int) int {
+	total := 0
+	for { // want `worker loop never observes cancellation`
+		w, ok := <-work
+		if !ok {
+			return total
+		}
+		total += w
+	}
+}
+
+func drains(ctx context.Context, work chan int) int {
+	total := 0
+	for w := range work { // want `worker loop never observes cancellation`
+		total += w
+	}
+	return total
+}
+
+// polls is compliant: ctx.Err() is checked every iteration, the
+// pulseStride pattern.
+func polls(ctx context.Context, work chan int) int {
+	total := 0
+	for {
+		if ctx.Err() != nil {
+			return total
+		}
+		w, ok := <-work
+		if !ok {
+			return total
+		}
+		total += w
+	}
+}
+
+// selects is compliant: the done channel is part of the select.
+func selects(done chan struct{}, work chan int) int {
+	total := 0
+	for {
+		select {
+		case <-done:
+			return total
+		case w := <-work:
+			total += w
+		}
+	}
+}
+
+// delegates is compliant: the context is handed to the unit of work,
+// which owns cancellation from there.
+func delegates(ctx context.Context, units []func(context.Context) error) error {
+	for {
+		for _, u := range units {
+			if err := u(ctx); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// bounded is compliant: conditional loops terminate on their own and
+// are outside the worker-loop contract.
+func bounded(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

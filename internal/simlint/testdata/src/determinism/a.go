@@ -1,0 +1,75 @@
+// Package determinism seeds violations and counterexamples for the
+// determinism analyzer.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+func emitsMapOrder(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order is non-deterministic`
+		out = append(out, k)
+	}
+	return out
+}
+
+func emitsMapValues(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is non-deterministic`
+		total += v
+	}
+	return total
+}
+
+func stampsResults() string {
+	return time.Now().String() // want `time\.Now in a result-producing package`
+}
+
+func measuresSince(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in a result-producing package`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `math/rand\.Intn uses the global rand source`
+}
+
+func walks(root string) error {
+	return filepath.Walk(root, nil) // want `filepath\.Walk feeding results must gather and sort`
+}
+
+// sortedEmission is compliant: keys are extracted, sorted, then
+// iterated in deterministic order.
+func sortedEmission(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//simlint:allow determinism key collection is sorted before any output
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return out
+}
+
+// seededRand is compliant: the generator is explicitly seeded and
+// injected, so every run draws the same sequence.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// slicesAreFine is compliant: slice iteration is ordered.
+func slicesAreFine(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,103 @@
+// Package hotpath seeds violations and counterexamples for the
+// hotpath analyzer.
+package hotpath
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hotpathdep"
+)
+
+// event is a value type flowing through the hot loop.
+type event struct {
+	addr uint32
+	size uint8
+}
+
+// sink is the observer interface hot code may call through.
+type sink interface {
+	observe(addr uint32)
+}
+
+// state is the hot structure.
+type state struct {
+	ticks uint64
+	cnt   hotpathdep.Counter
+	out   sink
+	buf   []uint64
+}
+
+// hotAllocs is a hot function full of violations.
+//
+//simlint:hotpath
+func (s *state) hotAllocs(e event) string {
+	s.buf = append(s.buf, uint64(e.addr)) // want `append in hot path .* may grow and allocate`
+	m := map[uint32]uint8{e.addr: e.size} // want `map literal in hot path .* allocates`
+	_ = m
+	p := new(event) // want `new in hot path .* allocates`
+	_ = p
+	f := func() uint32 { return e.addr } // want `closure in hot path .* func literals allocate`
+	_ = f
+	return fmt.Sprintf("%d", e.addr) // want `fmt\.Sprintf in hot path .* allocates`
+}
+
+// hotBoxes boxes a concrete value into an interface and converts a
+// string, both allocation sites.
+//
+//simlint:hotpath
+func hotBoxes(e event) int {
+	var x interface{} = e // want `interface boxing in hot path`
+	_ = x
+	b := []byte("header") // want `string/slice conversion in hot path .* allocates`
+	return len(b)
+}
+
+// hotCallsCold reaches allocations transitively: coldHelper is pulled
+// into the closure by the static call and checked there.
+//
+//simlint:hotpath
+func (s *state) hotCallsCold(e event) {
+	s.coldHelper(e)
+}
+
+func (s *state) coldHelper(e event) {
+	s.buf = append(s.buf, uint64(e.size)) // want `append in hot path .* may grow and allocate`
+}
+
+// hotEscapes calls an unmarked function in another package.
+//
+//simlint:hotpath
+func hotEscapes(c *hotpathdep.Counter) uint64 {
+	return hotpathdep.Snapshot(c) // want `calls hotpathdep\.Snapshot, which is outside the package and not marked`
+}
+
+// hotClean is fully compliant: arithmetic, struct values, bit tricks,
+// an in-package hot callee, a marked cross-package callee, and an
+// interface method call.
+//
+//simlint:hotpath
+func (s *state) hotClean(e event) uint64 {
+	s.ticks++
+	mask := uint64(1)<<e.size - 1
+	s.cnt.Bump(uint64(bits.OnesCount64(mask)))
+	if s.out != nil {
+		s.out.observe(e.addr)
+	}
+	ev := event{addr: e.addr + 1, size: e.size}
+	return s.hotLookup(ev) + s.ticks
+}
+
+//simlint:hotpath
+func (s *state) hotLookup(e event) uint64 {
+	if int(e.addr) < len(s.buf) {
+		return s.buf[e.addr]
+	}
+	return 0
+}
+
+// coldIsFree is not marked and never called from hot code: it may
+// allocate at will.
+func coldIsFree(e event) string {
+	return fmt.Sprintf("%d:%d", e.addr, e.size)
+}

@@ -1,0 +1,21 @@
+// Package hotpathdep is the cross-package dependency for the hotpath
+// analyzer tests: one callee carries the hotpath mark, one does not.
+package hotpathdep
+
+// Counter accumulates events.
+type Counter struct {
+	n uint64
+}
+
+// Bump is marked hot, so hot callers in other packages may call it.
+//
+//simlint:hotpath
+func (c *Counter) Bump(delta uint64) {
+	c.n += delta
+}
+
+// Snapshot is not marked hot: calling it from a hot path is a
+// violation at the caller.
+func Snapshot(c *Counter) uint64 {
+	return c.n
+}

@@ -1,0 +1,56 @@
+// Package nopanic seeds violations and counterexamples for the
+// nopanic analyzer.
+package nopanic
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+)
+
+// ErrBad is the sentinel failures should travel through.
+var ErrBad = errors.New("nopanic: bad state")
+
+func panics(n int) int {
+	if n < 0 {
+		panic("negative") // want `panic in engine package`
+	}
+	return n
+}
+
+func fatals(err error) {
+	if err != nil {
+		log.Fatalf("giving up: %v", err) // want `log\.Fatalf in engine package`
+	}
+}
+
+func exits(code int) {
+	os.Exit(code) // want `os\.Exit in engine package`
+}
+
+func panicsViaLogger(l *log.Logger) {
+	l.Panicln("corrupt") // want `log\.Panicln in engine package`
+}
+
+// returnsError is compliant: the failure is an error return.
+func returnsError(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("%w: n=%d", ErrBad, n)
+	}
+	return n, nil
+}
+
+// allowed is compliant: a justified, annotated unreachable state.
+func allowed(n int) int {
+	if n < 0 {
+		//simlint:allow nopanic unreachable by construction
+		panic("unreachable")
+	}
+	return n
+}
+
+// logsWithoutDying is compliant: non-fatal logging is fine.
+func logsWithoutDying(err error) {
+	log.Printf("recovered: %v", err)
+}

@@ -1,0 +1,66 @@
+// Package sentinelerr seeds violations and counterexamples for the
+// sentinelerr analyzer.
+package sentinelerr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrLimit mimics an engine sentinel.
+var ErrLimit = errors.New("limit reached")
+
+// ErrPageCross mimics a second engine sentinel.
+var ErrPageCross = errors.New("page cross")
+
+func compares(err error) bool {
+	return err == ErrLimit // want `sentinel ErrLimit compared with ==`
+}
+
+func comparesNeq(err error) bool {
+	return err != ErrPageCross // want `sentinel ErrPageCross compared with !=`
+}
+
+func comparesStdlib(err error) bool {
+	return err == io.EOF // want `sentinel EOF compared with ==`
+}
+
+func switches(err error) string {
+	switch err {
+	case ErrLimit: // want `sentinel ErrLimit matched in a switch case`
+		return "limit"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+func wrapsWrong(err error) error {
+	return fmt.Errorf("sweep failed: %v", err) // want `error formatted with %v loses the chain`
+}
+
+func wrapsWrongVerb(err error) error {
+	return fmt.Errorf("unit %d: %s", 7, err) // want `error formatted with %s loses the chain`
+}
+
+// usesErrorsIs is compliant: sentinel matching through the chain.
+func usesErrorsIs(err error) bool {
+	return errors.Is(err, ErrLimit)
+}
+
+// wrapsRight is compliant: %w keeps the chain intact.
+func wrapsRight(err error) error {
+	return fmt.Errorf("sweep failed: %w", err)
+}
+
+// nilChecks are compliant: comparing an error against nil is the
+// normal control-flow idiom, not sentinel matching.
+func nilChecks(err error) bool {
+	return err != nil
+}
+
+// stringifies is compliant: the error is already reduced to a string.
+func stringifies(err error) string {
+	return fmt.Sprintf("failed: %v", err)
+}

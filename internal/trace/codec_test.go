@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -75,7 +76,7 @@ func TestBinaryRejectsNonPowerOfTwoSize(t *testing.T) {
 
 func TestReadBinaryBadMagic(t *testing.T) {
 	_, err := ReadBinary(strings.NewReader("NOPE....."))
-	if err != ErrBadMagic {
+	if !errors.Is(err, ErrBadMagic) {
 		t.Fatalf("err = %v, want ErrBadMagic", err)
 	}
 }

@@ -60,7 +60,10 @@ type Event struct {
 }
 
 // Instructions returns the number of instructions this event accounts
-// for: its gap plus the referencing instruction itself.
+// for: its gap plus the referencing instruction itself. It is called
+// from cache.Access, so it is part of the zero-allocation hot path.
+//
+//simlint:hotpath
 func (e Event) Instructions() uint64 { return uint64(e.Gap) + 1 }
 
 // End returns the first byte address past the access.

@@ -9,11 +9,19 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+# Honor the Makefile's GO override and fail fast with a clear message
+# when the toolchain is missing.
+GO="${GO:-go}"
+if ! command -v "$GO" >/dev/null 2>&1; then
+    echo "resilience-smoke: error: Go toolchain '$GO' not found in PATH; install Go or set GO=/path/to/go" >&2
+    exit 1
+fi
+
 work=$(mktemp -d)
 trap 'rm -rf "$work"' EXIT
 
 bin="$work/cachesweep"
-go build -o "$bin" ./cmd/cachesweep
+"$GO" build -o "$bin" ./cmd/cachesweep
 
 # One shared trace cache: the golden run pays for trace generation, the
 # kill/resume attempts hit the cache so every SIGKILL lands in the

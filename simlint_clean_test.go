@@ -1,0 +1,37 @@
+package cachewrite
+
+// Simlint self-gate: the merged tree must always be clean under the
+// repository's own analyzer suite. This is the programmatic twin of
+// `make lint`; it runs the multichecker in-process over ./... so a
+// plain `go test ./...` (without -short) also enforces the engine
+// invariants. Skipped in -short mode because Load shells out to
+// `go list -export` for the whole module.
+
+import (
+	"strings"
+	"testing"
+
+	"cachewrite/internal/simlint"
+)
+
+func TestSimlintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping simlint whole-module pass in short mode")
+	}
+	mod, err := simlint.Load(".", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := simlint.RunAnalyzers(mod, simlint.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	if len(diags) > 0 {
+		var b strings.Builder
+		for _, d := range diags {
+			b.WriteString("\n  ")
+			b.WriteString(d.String())
+		}
+		t.Errorf("simlint reported %d diagnostic(s) on the tree:%s", len(diags), b.String())
+	}
+}
