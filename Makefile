@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint require-go fuzz-smoke bench-smoke resilience-smoke bench bench-all
+.PHONY: build test check lint require-go fuzz-smoke bench-smoke resilience-smoke serve-smoke bench bench-all
 
 # require-go fails fast with a clear message when the Go toolchain is
 # missing or $(GO) points at a nonexistent binary, instead of letting
@@ -26,9 +26,11 @@ lint: require-go
 
 # check is the pre-merge gate: simlint, go vet, the full suite under
 # the race detector, a short fuzz smoke over the trace decoders, a
-# single-iteration smoke of the sweep-engine benchmarks, and the
-# SIGKILL/resume crash-safety smoke. Lint runs before the race suite
-# so invariant violations fail in seconds, not minutes.
+# single-iteration smoke of the sweep-engine benchmarks, the
+# SIGKILL/resume crash-safety smoke, and the simserved chaos smoke
+# (64 racing clients, 3 server SIGKILLs, graceful drain). Lint runs
+# before the race suite so invariant violations fail in seconds, not
+# minutes.
 check: build
 	$(MAKE) lint
 	$(GO) vet ./...
@@ -36,7 +38,8 @@ check: build
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) resilience-smoke
-	@echo "check: gates passed: build lint vet race fuzz-smoke bench-smoke resilience-smoke"
+	$(MAKE) serve-smoke
+	@echo "check: gates passed: build lint vet race fuzz-smoke bench-smoke resilience-smoke serve-smoke"
 
 fuzz-smoke: require-go
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime 5s
@@ -52,6 +55,14 @@ bench-smoke: require-go
 # to an uninterrupted run.
 resilience-smoke: require-go
 	GO="$(GO)" sh scripts/resilience_smoke.sh
+
+# serve-smoke builds simserved and the simload chaos harness with the
+# race detector, spawns the server with a small admission queue,
+# drives 64 concurrent tenant sessions, SIGKILLs the server three
+# times mid-run, and requires zero lost or double-reported units,
+# bounded 503 shedding, and a clean SIGTERM drain.
+serve-smoke: require-go
+	GO="$(GO)" sh scripts/serve_smoke.sh
 
 # bench measures the gang sweep engine against the sequential baseline
 # on the full figure sweep and writes BENCH_sweep.json (wall clocks,

@@ -20,6 +20,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -54,6 +56,22 @@ type Report struct {
 	// Steady-state access loop (pre-built caches, no setup).
 	AccessNsPerEvent     float64 `json:"access_ns_per_event"`
 	AccessAllocsPerEvent float64 `json:"access_allocs_per_event"` // acceptance: 0
+
+	// Scaling is the worker-count matrix (-workers 1,2,4 or
+	// -workers auto); empty for single-pool runs.
+	Scaling []WorkerPoint `json:"scaling,omitempty"`
+}
+
+// WorkerPoint is one worker count of the scaling matrix.
+type WorkerPoint struct {
+	Workers    int   `json:"workers"`
+	GangWallNs int64 `json:"gang_wall_ns"`
+	// Speedup is sequential wall / gang wall at this pool size.
+	Speedup float64 `json:"speedup"`
+	// Efficiency is the parallel efficiency relative to the smallest
+	// measured pool: (T_base * base) / (T_w * w). 1.0 means perfect
+	// scaling from the base point; values sag as workers contend.
+	Efficiency float64 `json:"efficiency"`
 }
 
 func main() {
@@ -61,7 +79,7 @@ func main() {
 		out     = flag.String("out", "BENCH_sweep.json", "output JSON path ('-' for stdout)")
 		scale   = flag.Int("scale", 1, "workload scale factor")
 		events  = flag.Int("events", 250_000, "per-trace event cap (0 = full traces)")
-		workers = flag.Int("workers", 0, "gang worker pool size (0 = all CPUs)")
+		workers = flag.String("workers", "0", "gang worker pool: a size (0 = all CPUs), a comma list '1,2,4' for a scaling matrix, or 'auto' for powers of two up to NumCPU")
 		tcache  = flag.String("tracecache", "auto", "on-disk trace cache dir ('auto' = user cache dir, 'off' = disable)")
 	)
 	flag.Parse()
@@ -81,8 +99,13 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "sweepbench: traces ready in %s\n", time.Since(start).Round(time.Millisecond))
 
+	pools, err := parseWorkers(*workers)
+	if err != nil {
+		fail(err)
+	}
+
 	cfgs := experiments.SweepConfigs()
-	rep, err := measure(ctx, ts, cfgs, *workers)
+	rep, err := measure(ctx, ts, cfgs, pools)
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "sweepbench: interrupted")
 		os.Exit(resilience.ExitInterrupted)
@@ -107,12 +130,51 @@ func main() {
 	fmt.Fprintf(os.Stderr, "sweepbench: gang %.2fx vs sequential (%.1f -> %.1f ns/event), access loop %.1f ns/event, %.3g allocs/event\n",
 		rep.Speedup, rep.SequentialNsPerEvent, rep.GangNsPerEvent,
 		rep.AccessNsPerEvent, rep.AccessAllocsPerEvent)
+	for _, p := range rep.Scaling {
+		fmt.Fprintf(os.Stderr, "sweepbench: workers=%-3d %8s  speedup %.2fx  efficiency %.0f%%\n",
+			p.Workers, time.Duration(p.GangWallNs).Round(time.Millisecond), p.Speedup, 100*p.Efficiency)
+	}
 }
 
-// measure runs the three benchmarks and assembles the report. A
-// cancelled ctx stops between iterations and surfaces as
-// context.Canceled instead of a half-measured report.
-func measure(ctx context.Context, ts []*trace.Trace, cfgs []cache.Config, workers int) (Report, error) {
+// parseWorkers expands the -workers flag: a single size, a comma list
+// (a scaling matrix), or "auto" (powers of two up to NumCPU, plus
+// NumCPU itself when it is not a power of two).
+func parseWorkers(s string) ([]int, error) {
+	if s == "auto" {
+		n := runtime.NumCPU()
+		var pools []int
+		for w := 1; w < n; w *= 2 {
+			pools = append(pools, w)
+		}
+		pools = append(pools, n)
+		return pools, nil
+	}
+	parts := strings.Split(s, ",")
+	pools := make([]int, 0, len(parts))
+	for _, p := range parts {
+		w, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad -workers value %q: %w", p, err)
+		}
+		if len(parts) > 1 && w < 1 {
+			return nil, fmt.Errorf("worker matrix entries must be >= 1, got %d", w)
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("workers must be >= 0, got %d", w)
+		}
+		pools = append(pools, w)
+	}
+	return pools, nil
+}
+
+// measure runs the benchmarks and assembles the report: the
+// sequential baseline once, the gang engine once per requested pool
+// size (the largest pool populates the headline gang numbers, the
+// full set populates Scaling when more than one was asked for), and
+// the steady-state access loop. A cancelled ctx stops between
+// iterations and surfaces as context.Canceled instead of a
+// half-measured report.
+func measure(ctx context.Context, ts []*trace.Trace, cfgs []cache.Config, pools []int) (Report, error) {
 	totalEvents := 0
 	for _, t := range ts {
 		totalEvents += t.Len()
@@ -142,18 +204,38 @@ func measure(ctx context.Context, ts []*trace.Trace, cfgs []cache.Config, worker
 		return Report{}, benchErr
 	}
 
-	gang := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := sweep.Sweep(ctx, ts, cfgs, sweep.Options{Workers: workers}); err != nil {
-				benchErr = err
-				return
-			}
-		}
-	})
-	if benchErr != nil {
-		return Report{}, benchErr
+	type gangRun struct {
+		workers int // resolved pool size
+		result  testing.BenchmarkResult
 	}
+	runs := make([]gangRun, 0, len(pools))
+	for _, w := range pools {
+		gang := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sweep.Sweep(ctx, ts, cfgs, sweep.Options{Workers: w}); err != nil {
+					benchErr = err
+					return
+				}
+			}
+		})
+		if benchErr != nil {
+			return Report{}, benchErr
+		}
+		if w < 1 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		runs = append(runs, gangRun{workers: w, result: gang})
+	}
+	// The largest pool is the headline configuration.
+	head := runs[0]
+	for _, r := range runs[1:] {
+		if r.workers > head.workers {
+			head = r
+		}
+	}
+	gang := head.result
+	workers := head.workers
 
 	// Steady-state access loop: pre-built gang, no per-sweep setup.
 	shard := cfgs
@@ -182,11 +264,30 @@ func measure(ctx context.Context, ts []*trace.Trace, cfgs []cache.Config, worker
 	}
 	accessEvents := int64(ts[0].Len()) * int64(len(shard))
 
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	seqNs := seq.NsPerOp()
 	gangNs := gang.NsPerOp()
+
+	// Scaling matrix: efficiency is relative to the smallest measured
+	// pool, so -workers 1,2,4 reads as classic parallel efficiency.
+	var scaling []WorkerPoint
+	if len(runs) > 1 {
+		base := runs[0]
+		for _, r := range runs[1:] {
+			if r.workers < base.workers {
+				base = r
+			}
+		}
+		baseWork := float64(base.result.NsPerOp()) * float64(base.workers)
+		for _, r := range runs {
+			scaling = append(scaling, WorkerPoint{
+				Workers:    r.workers,
+				GangWallNs: r.result.NsPerOp(),
+				Speedup:    float64(seqNs) / float64(r.result.NsPerOp()),
+				Efficiency: baseWork / (float64(r.result.NsPerOp()) * float64(r.workers)),
+			})
+		}
+	}
+
 	return Report{
 		Traces:       len(ts),
 		Configs:      len(cfgs),
@@ -204,6 +305,8 @@ func measure(ctx context.Context, ts []*trace.Trace, cfgs []cache.Config, worker
 
 		AccessNsPerEvent:     float64(access.NsPerOp()) / float64(accessEvents),
 		AccessAllocsPerEvent: float64(access.AllocsPerOp()) / float64(accessEvents),
+
+		Scaling: scaling,
 	}, nil
 }
 

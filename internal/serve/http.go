@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/sweeps                  submit a JobSpec; 202 JobStatus,
+//	                                 400 invalid, 503 + Retry-After shed
+//	GET  /v1/sweeps/{id}             full job status incl. results and
+//	                                 the failures manifest
+//	GET  /v1/tenants/{tenant}/sweeps tenant's jobs, brief form
+//	GET  /healthz                    liveness + load ("ok"/"draining")
+//	GET  /statusz                    admission/scheduler counters
+//
+// Handlers only read and mutate guarded state; the heavy lifting
+// happens on the Run job workers, so requests stay fast and the
+// listener can keep answering polls while the server drains.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/tenants/{tenant}/sweeps", s.handleTenant)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /statusz", s.handleMetrics)
+	return mux
+}
+
+// maxBodyBytes bounds submit payloads; a JobSpec is axis lists, not
+// data, so 1 MiB is generous.
+const maxBodyBytes = 1 << 20
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // a failed write means the client went away
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	st, rej, err := s.Submit(spec)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	if rej != nil {
+		w.Header().Set("Retry-After", strconv.Itoa(rej.retrySeconds()))
+		writeJSON(w, http.StatusServiceUnavailable, rej)
+		return
+	}
+	w.Header().Set("Location", "/v1/sweeps/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleTenant(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	if !validTenant(tenant) {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid tenant"})
+		return
+	}
+	jobs := s.TenantJobs(tenant)
+	if jobs == nil {
+		jobs = []JobStatus{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Tenant string      `json:"tenant"`
+		Jobs   []JobStatus `json:"jobs"`
+	}{tenant, jobs})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Health())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}

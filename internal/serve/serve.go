@@ -1,0 +1,415 @@
+// Package serve is the multi-tenant simulation service behind
+// cmd/simserved: long-lived sessions submit sweep jobs over HTTP/JSON
+// and the server runs them on the gang engine with the same
+// crash-safety contract the CLIs have — and the overload tolerance
+// they never needed.
+//
+// The design carries the paper's write-buffer lesson (Jouppi §3: a
+// bounded buffer must stall or shed when the arrival rate exceeds the
+// retirement rate) up to the service layer:
+//
+//   - Admission control: the run queue is bounded globally and
+//     per-tenant. A full queue sheds load with 503 + Retry-After
+//     (a jittered hint derived from observed job durations) instead of
+//     queueing unboundedly.
+//   - Fair-share scheduling: job workers pick the next job round-robin
+//     across tenants, so one tenant's burst cannot starve the rest.
+//   - Crash safety: admitted jobs are journaled through
+//     internal/resilience before the client sees 202; each running
+//     sweep checkpoints its completed (trace, config-shard) units. A
+//     SIGKILLed server resumes every in-flight job on restart and
+//     re-derives byte-identical results; client re-submits are
+//     deduplicated by (tenant, request_id).
+//   - Deadlines: each job's deadline context reaches the gang inner
+//     loop (the pulseStride contract), so an expired or cancelled job
+//     stops mid-unit, not at the next unit boundary.
+//   - Graceful degradation: a job whose workloads partially fail still
+//     returns every computable result plus a failures manifest.
+//   - Graceful drain: Run(ctx) stops admitting when ctx is cancelled
+//     (SIGTERM), waits a bounded grace for running jobs, checkpoints
+//     whatever is still in flight, and flushes the job journal.
+//
+// The package is in simlint's nopanic, determinism and ctxloop scopes:
+// it never panics or exits, its result-producing paths are
+// deterministic (the wall clock and jitter RNG are injected and feed
+// only Retry-After hints), and its worker loops observe cancellation
+// every iteration.
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"cachewrite/internal/resilience"
+	"cachewrite/internal/sweep"
+	"cachewrite/internal/workload"
+)
+
+// Config tunes a Server. The zero value of every field has a usable
+// default (documented per field).
+type Config struct {
+	// StateDir holds the job journal and per-job sweep checkpoints
+	// (default "simserved-state"). It must persist across restarts for
+	// crash-safe resume.
+	StateDir string
+	// Queue bounds admitted-but-unfinished jobs across all tenants
+	// (default 64). Submits beyond it are shed with 503.
+	Queue int
+	// PerTenant bounds one tenant's admitted-but-unfinished jobs
+	// (default 8).
+	PerTenant int
+	// JobWorkers is how many jobs run concurrently (default 2).
+	JobWorkers int
+	// SweepWorkers is each job's gang scheduler pool size (default 0 =
+	// GOMAXPROCS; with several JobWorkers, a smaller value avoids
+	// oversubscription).
+	SweepWorkers int
+	// MaxConfigs caps one job's configuration grid (default 4096).
+	MaxConfigs int
+	// MaxEvents clamps each trace's per-job event cap (default
+	// 2,000,000; 0 keeps the default — use a negative value for
+	// "unlimited").
+	MaxEvents int
+	// DefaultDeadline is the per-attempt execution budget for jobs that
+	// do not set deadline_ms (default 5m).
+	DefaultDeadline time.Duration
+	// MaxDeadline caps client-requested deadlines (default 10m).
+	MaxDeadline time.Duration
+	// Retries is the per-unit retry budget inside each sweep
+	// (default 1; negative disables retries).
+	Retries int
+	// StallWarn is the per-unit soft deadline for the sweep watchdog;
+	// stalls are surfaced in statusz counters (default 30s).
+	StallWarn time.Duration
+	// DrainGrace is how long Run waits for running jobs after ctx is
+	// cancelled before cancelling them into their checkpoints
+	// (default 5s).
+	DrainGrace time.Duration
+	// TraceDir is the on-disk trace cache shared by all sessions
+	// ("" disables the disk layer).
+	TraceDir string
+	// TraceMem bounds the decoded traces shared in memory across
+	// sessions (default 16).
+	TraceMem int
+	// Seed seeds the jitter RNG for Retry-After hints (default 1).
+	Seed int64
+	// Now is the clock (required by the determinism contract to be
+	// injected; cmd/simserved passes time.Now). Wall-clock values feed
+	// only Retry-After estimates, never results.
+	Now func() time.Time
+	// Logf receives operational log lines (default os.Stderr).
+	Logf func(format string, args ...any)
+}
+
+// journalVersion is the job-journal schema version; bump when
+// persistedState or JobSpec changes shape.
+const journalVersion = 1
+
+// persistedState is the journaled server state: the job sequence
+// counter and every job in admission order. Jobs are a slice, not a
+// map, so encoding is deterministic by construction.
+type persistedState struct {
+	Seq  int   `json:"seq"`
+	Jobs []job `json:"jobs"`
+}
+
+// Metrics is the statusz counter snapshot.
+type Metrics struct {
+	Accepted         int64 `json:"accepted"`
+	Deduplicated     int64 `json:"deduplicated"`
+	RejectedQueue    int64 `json:"rejected_queue_full"`
+	RejectedTenant   int64 `json:"rejected_tenant_full"`
+	RejectedDraining int64 `json:"rejected_draining"`
+	JobsDone         int64 `json:"jobs_done"`
+	JobsPartial      int64 `json:"jobs_partial"`
+	JobsFailed       int64 `json:"jobs_failed"`
+	JobsResumed      int64 `json:"jobs_resumed"`
+	UnitsDone        int64 `json:"units_done"`
+	UnitsRestored    int64 `json:"units_restored"`
+	UnitsRetried     int64 `json:"units_retried"`
+	UnitStalls       int64 `json:"unit_stalls"`
+}
+
+// Server is the resident sweep service. Construct with New, serve its
+// Handler, and call Run to process jobs until the context is
+// cancelled.
+type Server struct {
+	cfg     Config
+	now     func() time.Time
+	logf    func(string, ...any)
+	traces  *workload.SharedTraces
+	journal *resilience.Journal[persistedState]
+
+	mu         sync.Mutex
+	jobs       []*job          // admission order; persisted in this order
+	byID       map[string]*job // lookup only — never ranged over
+	byRequest  map[string]*job // (tenant, request_id) dedup index
+	seq        int
+	draining   bool
+	running    int
+	lastTenant string  // fair-share round-robin cursor
+	avgJobNs   float64 // EWMA of job durations, feeds Retry-After
+	rng        *rand.Rand
+	metrics    Metrics
+
+	wake chan struct{}
+}
+
+// New builds a server over cfg.StateDir, loading the job journal and
+// re-queueing every job a previous process left unfinished. It does
+// not start any goroutine; call Run.
+func New(cfg Config) (*Server, error) {
+	if cfg.StateDir == "" {
+		cfg.StateDir = "simserved-state"
+	}
+	if cfg.Queue < 1 {
+		cfg.Queue = 64
+	}
+	if cfg.PerTenant < 1 {
+		cfg.PerTenant = 8
+	}
+	if cfg.JobWorkers < 1 {
+		cfg.JobWorkers = 2
+	}
+	if cfg.MaxConfigs < 1 {
+		cfg.MaxConfigs = 4096
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 2_000_000
+	}
+	if cfg.DefaultDeadline <= 0 {
+		cfg.DefaultDeadline = 5 * time.Minute
+	}
+	if cfg.MaxDeadline <= 0 {
+		cfg.MaxDeadline = 10 * time.Minute
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 1
+	}
+	if cfg.StallWarn <= 0 {
+		cfg.StallWarn = 30 * time.Second
+	}
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = 5 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = func() time.Time { return time.Time{} }
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "simserved: "+format+"\n", args...)
+		}
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.StateDir, "sweeps"), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: state dir: %w", err)
+	}
+	s := &Server{
+		cfg:       cfg,
+		now:       cfg.Now,
+		logf:      cfg.Logf,
+		traces:    workload.NewSharedTraces(cfg.TraceDir, cfg.TraceMem),
+		journal:   resilience.NewJournal[persistedState](filepath.Join(cfg.StateDir, "jobs.journal"), "simserved", journalVersion),
+		byID:      map[string]*job{},
+		byRequest: map[string]*job{},
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		wake:      make(chan struct{}, cfg.JobWorkers),
+	}
+	if err := s.restore(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// restore loads the job journal and re-queues unfinished jobs.
+func (s *Server) restore() error {
+	state, info, err := s.journal.Load()
+	if err != nil {
+		return fmt.Errorf("serve: job journal: %w", err)
+	}
+	for _, w := range info.Warnings {
+		s.logf("job journal: %s", w)
+	}
+	if !info.Found {
+		return nil
+	}
+	s.seq = state.Seq
+	resumed := 0
+	for i := range state.Jobs {
+		j := state.Jobs[i] // copy out of the slice
+		if !j.State.Terminal() {
+			// Anything unfinished — queued, or running when the previous
+			// process died — goes back to the queue; its sweep
+			// checkpoints make the resume cheap and byte-identical.
+			j.State = StateQueued
+			resumed++
+		}
+		jp := &j
+		s.jobs = append(s.jobs, jp)
+		s.byID[j.ID] = jp
+		if j.RequestID != "" {
+			s.byRequest[requestKey(j.Tenant, j.RequestID)] = jp
+		}
+	}
+	if resumed > 0 {
+		s.metrics.JobsResumed += int64(resumed)
+		s.logf("restored %d job(s) from journal, %d unfinished re-queued", len(s.jobs), resumed)
+	}
+	return nil
+}
+
+func requestKey(tenant, requestID string) string {
+	return tenant + "\x00" + requestID
+}
+
+// persistLocked snapshots the full job table through the resilience
+// journal (atomic rename + CRC + previous-good fallback) and returns
+// the save error. Callers on the completion path log and continue
+// (the server keeps serving from memory and retries on the next state
+// change); the admission path instead refuses to admit what it cannot
+// make durable. Caller holds mu.
+func (s *Server) persistLocked() error {
+	state := persistedState{Seq: s.seq, Jobs: make([]job, 0, len(s.jobs))}
+	for _, j := range s.jobs {
+		state.Jobs = append(state.Jobs, *j)
+	}
+	if err := s.journal.Save(state); err != nil {
+		s.logf("job journal save failed: %v", err)
+		return err
+	}
+	return nil
+}
+
+// ckptPath is the sweep checkpoint for one (job, workload-index) pair.
+func (s *Server) ckptPath(jobID string, ti int) string {
+	return filepath.Join(s.cfg.StateDir, "sweeps", fmt.Sprintf("%s-t%d.ckpt", jobID, ti))
+}
+
+// removeCkpts clears a terminal job's sweep checkpoints (successful
+// sweeps already removed their own; this reaps the failed ones).
+func (s *Server) removeCkpts(j *job) {
+	for ti := range j.Spec.Workloads {
+		p := s.ckptPath(j.ID, ti)
+		_ = os.Remove(p)
+		_ = os.Remove(p + ".prev")
+	}
+}
+
+// unitsPerWorkload is how many scheduler units one workload's sweep
+// splits into under the default sharding.
+func unitsPerWorkload(nConfigs int) int {
+	return (nConfigs + sweep.DefaultShard - 1) / sweep.DefaultShard
+}
+
+// Job returns the status of one job (full results included).
+func (s *Server) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(false), true
+}
+
+// TenantJobs lists a tenant's jobs in admission order (brief form:
+// no result payloads).
+func (s *Server) TenantJobs(tenant string) []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []JobStatus
+	for _, j := range s.jobs {
+		if j.Tenant == tenant {
+			out = append(out, j.status(true))
+		}
+	}
+	return out
+}
+
+// Health is the healthz payload.
+type Health struct {
+	Status  string `json:"status"` // "ok" or "draining"
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+	Jobs    int    `json:"jobs"`
+}
+
+// Health reports liveness and load.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := Health{Status: "ok", Running: s.running, Jobs: len(s.jobs)}
+	if s.draining {
+		h.Status = "draining"
+	}
+	for _, j := range s.jobs {
+		if j.State == StateQueued {
+			h.Queued++
+		}
+	}
+	return h
+}
+
+// MetricsSnapshot returns the statusz counters.
+func (s *Server) MetricsSnapshot() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metrics
+}
+
+// queuedTenantsLocked returns the sorted tenants that have at least
+// one queued job. Caller holds mu.
+func (s *Server) queuedTenantsLocked() []string {
+	seen := map[string]bool{}
+	var tenants []string
+	for _, j := range s.jobs {
+		if j.State == StateQueued && !seen[j.Tenant] {
+			seen[j.Tenant] = true
+			tenants = append(tenants, j.Tenant)
+		}
+	}
+	sort.Strings(tenants)
+	return tenants
+}
+
+// next claims the next job under fair-share scheduling: tenants with
+// queued work are ordered by name and the pick rotates round-robin
+// from the previously served tenant, taking that tenant's oldest
+// queued job. Returns nil when nothing is runnable (or the server is
+// draining).
+func (s *Server) next() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil
+	}
+	tenants := s.queuedTenantsLocked()
+	if len(tenants) == 0 {
+		return nil
+	}
+	pick := tenants[0]
+	for _, t := range tenants {
+		if t > s.lastTenant {
+			pick = t
+			break
+		}
+	}
+	for _, j := range s.jobs {
+		if j.State == StateQueued && j.Tenant == pick {
+			s.lastTenant = pick
+			j.State = StateRunning
+			s.running++
+			return j
+		}
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ var EnginePackages = []string{
 	"internal/bus",
 	"internal/timing",
 	"internal/sweep",
+	"internal/serve", // a panic in the service would take down every tenant
 }
 
 // DeterministicPackages produce results (figures, tables, campaign
@@ -26,6 +27,7 @@ var DeterministicPackages = []string{
 	"internal/experiments",
 	"internal/campaign",
 	"internal/stats",
+	"internal/serve", // resumed jobs must report byte-identical results
 }
 
 // WorkerLoopPackages host long-running worker loops that must honor
@@ -36,6 +38,7 @@ var WorkerLoopPackages = []string{
 	"internal/sweep",
 	"internal/campaign",
 	"internal/resilience",
+	"internal/serve", // job workers and the drain loop must observe ctx
 }
 
 // All returns every simlint analyzer, in reporting order.

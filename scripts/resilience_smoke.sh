@@ -5,17 +5,20 @@
 # times, resume to completion, and require the resumed CSV to be
 # byte-identical to the golden one. `make resilience-smoke` runs this;
 # it is part of `make check`.
+#
+# Child exit codes are classified strictly (see smoke_lib.sh): 0 is
+# success, 3 (resilience.ExitInterrupted) is a resumable graceful
+# stop, 137 is acceptable only for a SIGKILL this script itself sent.
+# Anything else — a panic, a journal error, an unexplained signal —
+# fails the smoke immediately instead of being retried into silence.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-# Honor the Makefile's GO override and fail fast with a clear message
-# when the toolchain is missing.
-GO="${GO:-go}"
-if ! command -v "$GO" >/dev/null 2>&1; then
-    echo "resilience-smoke: error: Go toolchain '$GO' not found in PATH; install Go or set GO=/path/to/go" >&2
-    exit 1
-fi
+SMOKE_NAME=resilience-smoke
+. ./scripts/smoke_lib.sh
+
+smoke_require_go
 
 work=$(mktemp -d)
 trap 'rm -rf "$work"' EXIT
@@ -28,50 +31,62 @@ bin="$work/cachesweep"
 # sweep itself rather than in generation.
 args="-workload ccom -scale 2 -workers 2 -lines 16,32 -tracecache $work/tracecache"
 
-echo "resilience-smoke: golden run"
+smoke_log "golden run"
 # shellcheck disable=SC2086
 "$bin" $args > "$work/golden.csv"
 
 ckpt="$work/sweep.ckpt"
 kills=0
+interrupts=0
 max_kills=3
 attempt=0
-echo "resilience-smoke: kill/resume loop (SIGKILL x$max_kills)"
+smoke_log "kill/resume loop (SIGKILL x$max_kills)"
 while :; do
     attempt=$((attempt + 1))
     if [ "$attempt" -gt 10 ]; then
-        echo "resilience-smoke: FAIL — sweep never completed after $attempt attempts" >&2
-        exit 1
+        smoke_fail "sweep never completed after $attempt attempts"
     fi
     set +e
     # shellcheck disable=SC2086
     "$bin" $args -checkpoint "$ckpt" > "$work/resumed.csv" 2> "$work/stderr.log" &
     pid=$!
+    sent_kill=no
     if [ "$kills" -lt "$max_kills" ]; then
         sleep 0.5
-        kill -9 "$pid" 2>/dev/null
+        if kill -9 "$pid" 2>/dev/null; then
+            sent_kill=yes
+        fi
     fi
     wait "$pid"
     rc=$?
     set -e
-    if [ "$rc" -eq 0 ]; then
+    outcome=$(smoke_classify_exit "$rc" "$sent_kill")
+    case "$outcome" in
+    ok)
         break
-    fi
-    kills=$((kills + 1))
-    echo "resilience-smoke: attempt $attempt killed (exit $rc), resuming"
+        ;;
+    killed)
+        kills=$((kills + 1))
+        smoke_log "attempt $attempt killed (exit $rc), resuming"
+        ;;
+    interrupted)
+        # Graceful stop (exit 3): checkpointed, resumable — but this
+        # script never sends SIGINT/SIGTERM, so surface it for the log
+        # and keep resuming rather than miscounting it as a kill.
+        interrupts=$((interrupts + 1))
+        smoke_log "attempt $attempt interrupted gracefully (exit 3), resuming"
+        ;;
+    esac
 done
 
 if [ "$kills" -eq 0 ]; then
-    echo "resilience-smoke: FAIL — no attempt was killed; sweep too fast for the kill window" >&2
-    exit 1
+    smoke_fail "no attempt was killed; sweep too fast for the kill window"
 fi
 if [ -e "$ckpt" ]; then
-    echo "resilience-smoke: FAIL — completed sweep left its checkpoint behind" >&2
-    exit 1
+    smoke_fail "completed sweep left its checkpoint behind"
 fi
 if ! cmp -s "$work/golden.csv" "$work/resumed.csv"; then
-    echo "resilience-smoke: FAIL — resumed CSV differs from uninterrupted run" >&2
     diff "$work/golden.csv" "$work/resumed.csv" | head -20 >&2
-    exit 1
+    smoke_fail "resumed CSV differs from uninterrupted run"
 fi
-echo "resilience-smoke: OK — survived $kills SIGKILLs, resumed byte-identical"
+smoke_log "OK — survived $kills SIGKILLs ($interrupts graceful interrupts), resumed byte-identical"

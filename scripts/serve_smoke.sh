@@ -1,0 +1,52 @@
+#!/bin/sh
+# serve_smoke.sh — chaos smoke for the simserved service: build server
+# and load harness with the race detector, then let simload spawn the
+# server with a deliberately small admission queue, drive 64 concurrent
+# tenant sessions against it, SIGKILL the server three times mid-run,
+# and finally SIGTERM it for a graceful drain.
+#
+# simload exits 0 only if every assertion held: no admitted job lost
+# across kills, no completed unit lost or double-reported (every
+# result byte-identical to a locally computed golden), 503 responses
+# bounded and carrying Retry-After, shedding actually observed, and
+# the final drain clean. `make serve-smoke` runs this; it is part of
+# `make check`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SMOKE_NAME=serve-smoke
+. ./scripts/smoke_lib.sh
+
+smoke_require_go
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+smoke_log "building simserved and simload with -race"
+"$GO" build -race -o "$work/simserved" ./cmd/simserved
+"$GO" build -race -o "$work/simload" ./cmd/simload
+
+# Port derived from the PID so parallel checks do not collide.
+port=$((20000 + $$ % 20000))
+
+# Small queue and per-tenant cap so 64 clients force real shedding;
+# shared trace cache so restarts resume into sweeps, not generation.
+smoke_log "chaos run: 64 clients, 3 SIGKILLs, queue 12, port $port"
+set +e
+"$work/simload" \
+    -addr "127.0.0.1:$port" \
+    -spawn "$work/simserved" \
+    -state "$work/state" \
+    -server-flags "-queue 12 -per-tenant 2 -jobs 2 -tracecache $work/tracecache" \
+    -tracecache "$work/tracecache" \
+    -clients 64 -jobs 1 -events 40000 \
+    -kills 3 -kill-every 1500ms \
+    -expect-shed \
+    -timeout 4m
+rc=$?
+set -e
+if [ "$rc" -ne 0 ]; then
+    smoke_fail "simload reported violations (exit $rc)"
+fi
+smoke_log "OK — zero lost or double-reported units across 3 SIGKILLs, bounded shedding, clean drain"

@@ -1,0 +1,65 @@
+# smoke_lib.sh — shared helpers for the repository's smoke scripts.
+# POSIX sh; source it after setting $SMOKE_NAME:
+#
+#   SMOKE_NAME=resilience-smoke
+#   . "$(dirname "$0")/smoke_lib.sh"
+#
+# Exit-code conventions the helpers understand (see
+# internal/resilience):
+#   0    success
+#   3    resilience.ExitInterrupted — the process observed SIGINT/
+#        SIGTERM and checkpointed; resumable, not a failure
+#   137  128+SIGKILL — the process was killed (only OK when the
+#        script itself sent the kill)
+
+SMOKE_NAME="${SMOKE_NAME:-smoke}"
+
+smoke_log() {
+    echo "$SMOKE_NAME: $*"
+}
+
+smoke_fail() {
+    echo "$SMOKE_NAME: FAIL — $*" >&2
+    exit 1
+}
+
+# smoke_require_go resolves $GO (default "go") and fails fast with a
+# clear message when the toolchain is missing.
+smoke_require_go() {
+    GO="${GO:-go}"
+    if ! command -v "$GO" >/dev/null 2>&1; then
+        echo "$SMOKE_NAME: error: Go toolchain '$GO' not found in PATH; install Go or set GO=/path/to/go" >&2
+        exit 1
+    fi
+}
+
+# smoke_classify_exit <rc> <killed> — map a child's exit code to one
+# of: ok / killed / interrupted. Anything else fails the smoke loudly,
+# including a 137 the script never caused: an OOM-killed or externally
+# killed child must not be silently retried as if it were part of the
+# chaos plan. <killed> is "yes" when the script sent SIGKILL to this
+# child, anything else otherwise.
+smoke_classify_exit() {
+    rc="$1"
+    killed="${2:-no}"
+    case "$rc" in
+    0)
+        echo ok
+        ;;
+    3)
+        # resilience.ExitInterrupted: graceful SIGINT/SIGTERM stop with
+        # a checkpoint behind it. Resumable by rerunning.
+        echo interrupted
+        ;;
+    137)
+        if [ "$killed" = "yes" ]; then
+            echo killed
+        else
+            smoke_fail "child exited 137 (SIGKILL) but this script sent no kill — OOM or external interference, not a planned crash"
+        fi
+        ;;
+    *)
+        smoke_fail "child exited with unexpected code $rc (expected 0, 3, or a planned 137); see its stderr above"
+        ;;
+    esac
+}
