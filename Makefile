@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint require-go fuzz-smoke bench-smoke resilience-smoke serve-smoke bench bench-all
+.PHONY: build test check lint require-go fuzz-smoke bench-smoke bench-compare resilience-smoke serve-smoke bench bench-all
 
 # require-go fails fast with a clear message when the Go toolchain is
 # missing or $(GO) points at a nonexistent binary, instead of letting
@@ -27,19 +27,21 @@ lint: require-go
 # check is the pre-merge gate: simlint, go vet, the full suite under
 # the race detector, a short fuzz smoke over the trace decoders, a
 # single-iteration smoke of the sweep-engine benchmarks, the
-# SIGKILL/resume crash-safety smoke, and the simserved chaos smoke
-# (64 racing clients, 3 server SIGKILLs, graceful drain). Lint runs
-# before the race suite so invariant violations fail in seconds, not
-# minutes.
+# performance regression gate against the committed BENCH_sweep.json
+# scaling matrix, the SIGKILL/resume crash-safety smoke, and the
+# simserved chaos smoke (64 racing clients, 3 server SIGKILLs,
+# graceful drain). Lint runs before the race suite so invariant
+# violations fail in seconds, not minutes.
 check: build
 	$(MAKE) lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-smoke
+	$(MAKE) bench-compare
 	$(MAKE) resilience-smoke
 	$(MAKE) serve-smoke
-	@echo "check: gates passed: build lint vet race fuzz-smoke bench-smoke resilience-smoke serve-smoke"
+	@echo "check: gates passed: build lint vet race fuzz-smoke bench-smoke bench-compare resilience-smoke serve-smoke"
 
 fuzz-smoke: require-go
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime 5s
@@ -49,6 +51,14 @@ fuzz-smoke: require-go
 # iteration — fast enough for the gate, enough to catch bit-rot.
 bench-smoke: require-go
 	$(GO) test ./internal/sweep -run '^$$' -bench 'BenchmarkSweep|BenchmarkGang' -benchtime 1x -benchmem
+
+# bench-compare is the performance regression gate: a fresh reduced
+# sweep measured at the full worker matrix, compared against the
+# committed BENCH_sweep.json (ns/event within 10% on identical
+# silicon, zero-alloc hot loops, scaling matrix invariants). See
+# scripts/bench_compare.sh and EXPERIMENTS.md.
+bench-compare: require-go
+	GO="$(GO)" sh scripts/bench_compare.sh
 
 # resilience-smoke SIGKILLs a checkpointed sweep mid-flight three
 # times, resumes it, and requires the final CSV to be byte-identical
@@ -65,11 +75,12 @@ serve-smoke: require-go
 	GO="$(GO)" sh scripts/serve_smoke.sh
 
 # bench measures the gang sweep engine against the sequential baseline
-# on the full figure sweep and writes BENCH_sweep.json (wall clocks,
-# speedup, ns/event, allocs/event). See EXPERIMENTS.md for how to read
-# it.
+# on the full figure sweep at every worker-pool size up to the full
+# core count and writes BENCH_sweep.json (wall clocks, speedup,
+# ns/event, allocs/event, scaling[] matrix, host metadata). See
+# EXPERIMENTS.md for how to read it.
 bench: require-go
-	$(GO) run ./cmd/sweepbench -out BENCH_sweep.json
+	$(GO) run ./cmd/sweepbench -workers auto -out BENCH_sweep.json
 
 # bench-all runs the complete per-figure/ablation benchmark suite.
 bench-all: require-go

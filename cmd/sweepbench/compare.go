@@ -1,0 +1,133 @@
+package main
+
+import "fmt"
+
+// compareOpts tunes the regression gate (see the -compare flags).
+type compareOpts struct {
+	// Tolerance is the max allowed fractional gang ns/event regression
+	// of the fresh run vs the committed artifact (0.10 = 10%). Only
+	// enforced when both were measured on the same CPU model — cross-
+	// machine ns comparisons are noise, not signal.
+	Tolerance float64
+	// MinSpeedup is required at the committed artifact's top worker
+	// count whenever that artifact was recorded on a multi-core host.
+	// On a single-core recording host parallel speedup is physically
+	// unmeasurable, so the gate warns instead of failing.
+	MinSpeedup float64
+	// MaxSingle bounds the committed single-worker gang ns/event: the
+	// specialized-kernel engine must beat the pre-kernel generic
+	// dispatch baseline even with no parallelism at all.
+	MaxSingle float64
+	// minFreshSpeedup is the sanity floor for the fresh run's top
+	// scaling point on a multi-core host; defaults to 1.2.
+	minFreshSpeedup float64
+}
+
+// compareResult separates hard failures (exit nonzero) from warnings
+// (printed, not fatal).
+type compareResult struct {
+	Problems []string
+	Warnings []string
+}
+
+// compareReports applies the regression gate: structural invariants on
+// the committed artifact (scaling matrix present and recorded at the
+// recording host's full core count, zero-alloc hot loops, single-
+// worker kernel cost under the pre-kernel baseline, parallel speedup
+// when the host could show one) and a relative fresh-vs-committed
+// ns/event check when the two runs are comparable.
+func compareReports(committed, fresh Report, opts compareOpts) compareResult {
+	var res compareResult
+	problem := func(format string, args ...any) {
+		res.Problems = append(res.Problems, fmt.Sprintf(format, args...))
+	}
+	warn := func(format string, args ...any) {
+		res.Warnings = append(res.Warnings, fmt.Sprintf(format, args...))
+	}
+	if opts.minFreshSpeedup == 0 {
+		opts.minFreshSpeedup = 1.2
+	}
+
+	// Committed artifact structure.
+	if len(committed.Scaling) == 0 {
+		problem("committed artifact has no scaling[] matrix; regenerate with -workers auto")
+	} else {
+		top := committed.Scaling[0]
+		for _, p := range committed.Scaling[1:] {
+			if p.Workers > top.Workers {
+				top = p
+			}
+		}
+		if committed.Host.NumCPU > 0 && top.Workers < committed.Host.NumCPU {
+			problem("committed scaling[] tops out at %d workers but the recording host has %d CPUs; regenerate with -workers auto",
+				top.Workers, committed.Host.NumCPU)
+		}
+		if committed.Host.NumCPU >= 2 {
+			if top.Speedup < opts.MinSpeedup {
+				problem("committed speedup at %d workers is %.2fx, below the required %.2fx",
+					top.Workers, top.Speedup, opts.MinSpeedup)
+			}
+		} else {
+			warn("committed artifact was recorded on a single-CPU host; parallel speedup gate (>= %.2fx) cannot be enforced — regenerate on a multi-core machine to arm it",
+				opts.MinSpeedup)
+		}
+		single := committed.Scaling[0]
+		for _, p := range committed.Scaling {
+			if p.Workers < single.Workers {
+				single = p
+			}
+		}
+		if single.Workers == 1 && single.GangNsPerEvent > opts.MaxSingle {
+			problem("committed single-worker gang cost is %.2f ns/event, above the %.2f ns/event kernel budget",
+				single.GangNsPerEvent, opts.MaxSingle)
+		}
+	}
+
+	// Zero-alloc hot loops, measured fresh: the steady-state batch and
+	// access loops must not allocate.
+	if fresh.BatchAllocsPerEvent != 0 {
+		problem("fresh batch loop allocates (%g allocs/event); kernels must be zero-alloc", fresh.BatchAllocsPerEvent)
+	}
+	if fresh.AccessAllocsPerEvent != 0 {
+		problem("fresh access loop allocates (%g allocs/event); hot path must be zero-alloc", fresh.AccessAllocsPerEvent)
+	}
+
+	// Relative regression: only meaningful on identical silicon over
+	// the identical event window — a shorter trace prefix has
+	// different miss locality, so its ns/event is a different
+	// workload, not a noisier measurement of the same one.
+	switch {
+	case committed.Host.CPUModel == "" || fresh.Host.CPUModel == "":
+		warn("CPU model unknown on one side; skipping relative ns/event comparison")
+	case committed.Host.CPUModel != fresh.Host.CPUModel:
+		warn("CPU models differ (committed %q vs fresh %q); skipping relative ns/event comparison",
+			committed.Host.CPUModel, fresh.Host.CPUModel)
+	case committed.Events != fresh.Events:
+		warn("event counts differ (committed %d vs fresh %d); skipping relative ns/event comparison — a shorter trace prefix is a different workload",
+			committed.Events, fresh.Events)
+	case committed.GangNsPerEvent <= 0:
+		warn("committed gang ns/event is %.2f; skipping relative comparison", committed.GangNsPerEvent)
+	default:
+		limit := committed.GangNsPerEvent * (1 + opts.Tolerance)
+		if fresh.GangNsPerEvent > limit {
+			problem("fresh gang cost %.2f ns/event exceeds committed %.2f ns/event by more than %.0f%%",
+				fresh.GangNsPerEvent, committed.GangNsPerEvent, 100*opts.Tolerance)
+		}
+	}
+
+	// Fresh-run sanity: a multi-core host should still show scaling.
+	if fresh.Host.NumCPU >= 2 && len(fresh.Scaling) > 0 {
+		top := fresh.Scaling[0]
+		for _, p := range fresh.Scaling[1:] {
+			if p.Workers > top.Workers {
+				top = p
+			}
+		}
+		if top.Workers >= 2 && top.Speedup < opts.minFreshSpeedup {
+			problem("fresh speedup at %d workers is %.2fx, below the %.2fx floor; the parallel engine regressed",
+				top.Workers, top.Speedup, opts.minFreshSpeedup)
+		}
+	}
+
+	return res
+}

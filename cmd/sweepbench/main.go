@@ -3,12 +3,24 @@
 // (experiments.SweepConfigs x the six benchmark traces) and writes a
 // JSON summary, the repository's tracked performance artifact:
 //
-//	go run ./cmd/sweepbench -out BENCH_sweep.json
+//	go run ./cmd/sweepbench -workers auto -out BENCH_sweep.json
 //
 // The JSON reports wall-clock for both engines, the speedup, ns and
 // allocations per config-event (one trace event applied to one cache
-// configuration), and the steady-state access-loop cost. `make bench`
-// runs it; EXPERIMENTS.md documents how to read the output.
+// configuration), the steady-state per-event and batched access-loop
+// costs, a scaling[] matrix (one point per measured worker-pool size)
+// and the recording host's metadata. `make bench` runs it;
+// EXPERIMENTS.md documents how to read the output.
+//
+// With -compare PATH it instead acts as the regression gate: a fresh
+// measurement is compared against the committed artifact at PATH and
+// the process exits nonzero if the engine regressed or the artifact
+// violates the scaling invariants (see compare.go). `make
+// bench-compare` wires this into `make check`.
+//
+// Profiling: -cpuprofile/-memprofile write pprof profiles of the
+// measurement, so perf work starts from a profile instead of a guess
+// (recipe in EXPERIMENTS.md).
 package main
 
 import (
@@ -20,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -41,7 +54,7 @@ type Report struct {
 	Configs      int   `json:"configs"`
 	Events       int   `json:"events"`        // total trace events (one pass)
 	ConfigEvents int64 `json:"config_events"` // events x configs = simulated accesses
-	Workers      int   `json:"workers"`       // gang scheduler pool size (GOMAXPROCS when 0 was given)
+	Workers      int   `json:"workers"`       // headline gang pool size (largest measured)
 
 	// Whole-sweep wall clock (best observed iteration).
 	SequentialWallNs int64   `json:"sequential_wall_ns"`
@@ -53,19 +66,30 @@ type Report struct {
 	GangNsPerEvent       float64 `json:"gang_ns_per_event"`
 	GangAllocsPerEvent   float64 `json:"gang_allocs_per_event"` // includes per-sweep setup
 
-	// Steady-state access loop (pre-built caches, no setup).
+	// Steady-state loops on a pre-built gang (no setup): the batched
+	// kernel path the gang engine actually runs, and the generic
+	// per-event Access path kept for comparison.
+	BatchNsPerEvent      float64 `json:"batch_ns_per_event"`
+	BatchAllocsPerEvent  float64 `json:"batch_allocs_per_event"`  // acceptance: 0
 	AccessNsPerEvent     float64 `json:"access_ns_per_event"`
 	AccessAllocsPerEvent float64 `json:"access_allocs_per_event"` // acceptance: 0
 
-	// Scaling is the worker-count matrix (-workers 1,2,4 or
-	// -workers auto); empty for single-pool runs.
-	Scaling []WorkerPoint `json:"scaling,omitempty"`
+	// Scaling is the worker-count matrix: one point per measured pool
+	// (-workers auto records powers of two up to the full core count).
+	Scaling []WorkerPoint `json:"scaling"`
+
+	// Host records where the artifact was measured; the regression
+	// gate only compares ns/event across identical CPU models.
+	Host Host `json:"host"`
 }
 
 // WorkerPoint is one worker count of the scaling matrix.
 type WorkerPoint struct {
 	Workers    int   `json:"workers"`
 	GangWallNs int64 `json:"gang_wall_ns"`
+	// GangNsPerEvent is the gang wall clock normalized per simulated
+	// access at this pool size.
+	GangNsPerEvent float64 `json:"gang_ns_per_event"`
 	// Speedup is sequential wall / gang wall at this pool size.
 	Speedup float64 `json:"speedup"`
 	// Efficiency is the parallel efficiency relative to the smallest
@@ -74,13 +98,59 @@ type WorkerPoint struct {
 	Efficiency float64 `json:"efficiency"`
 }
 
+// Host identifies the measurement machine.
+type Host struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+	GoVersion  string `json:"go_version"`
+}
+
+// hostInfo collects the recording host's metadata.
+func hostInfo() Host {
+	return Host{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
+		GoVersion:  runtime.Version(),
+	}
+}
+
+// cpuModel returns the CPU model string from /proc/cpuinfo, or "" when
+// unavailable (non-Linux hosts).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, val, ok := strings.Cut(line, ":"); ok {
+			if strings.TrimSpace(name) == "model name" {
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return ""
+}
+
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_sweep.json", "output JSON path ('-' for stdout)")
-		scale   = flag.Int("scale", 1, "workload scale factor")
-		events  = flag.Int("events", 250_000, "per-trace event cap (0 = full traces)")
-		workers = flag.String("workers", "0", "gang worker pool: a size (0 = all CPUs), a comma list '1,2,4' for a scaling matrix, or 'auto' for powers of two up to NumCPU")
-		tcache  = flag.String("tracecache", "auto", "on-disk trace cache dir ('auto' = user cache dir, 'off' = disable)")
+		out        = flag.String("out", "BENCH_sweep.json", "output JSON path ('-' for stdout)")
+		scale      = flag.Int("scale", 1, "workload scale factor")
+		events     = flag.Int("events", 250_000, "per-trace event cap (0 = full traces)")
+		workers    = flag.String("workers", "0", "gang worker pool: a size (0 = all CPUs), a comma list '1,2,4' for a scaling matrix, or 'auto' for powers of two up to NumCPU")
+		tcache     = flag.String("tracecache", "auto", "on-disk trace cache dir ('auto' = user cache dir, 'off' = disable)")
+		force      = flag.Bool("force", false, "allow overwriting a multi-worker artifact with a workers=1 run")
+		comparePth = flag.String("compare", "", "regression-gate mode: compare a fresh measurement against the committed artifact at this path and exit nonzero on regression (no artifact is written)")
+		tolerance  = flag.Float64("tolerance", 0.10, "compare: max allowed fractional ns/event regression vs the committed artifact (same CPU model only)")
+		minSpeedup = flag.Float64("min-speedup", 2.0, "compare: required speedup at the committed artifact's top worker count (enforced when it was recorded on a multi-core host)")
+		maxSingle  = flag.Float64("max-single-ns", 12.7, "compare: max allowed committed single-worker gang ns/event (the pre-kernel baseline)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the measurement to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile after the measurement to this file")
 	)
 	flag.Parse()
 
@@ -88,7 +158,7 @@ func main() {
 	defer stop()
 
 	start := time.Now()
-	ts, err := workload.GenerateAllCached(workload.ResolveCacheDir(*tcache), *scale)
+	ts, err := workload.GenerateAllShared(ctx, workload.ResolveCacheDir(*tcache), *scale)
 	if err != nil {
 		fail(err)
 	}
@@ -104,6 +174,18 @@ func main() {
 		fail(err)
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	cfgs := experiments.SweepConfigs()
 	rep, err := measure(ctx, ts, cfgs, pools)
 	if errors.Is(err, context.Canceled) {
@@ -114,6 +196,47 @@ func main() {
 		fail(err)
 	}
 
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		f.Close()
+	}
+
+	if *comparePth != "" {
+		committed, err := loadReport(*comparePth)
+		if err != nil {
+			fail(fmt.Errorf("loading committed artifact: %w", err))
+		}
+		res := compareReports(committed, rep, compareOpts{
+			Tolerance:  *tolerance,
+			MinSpeedup: *minSpeedup,
+			MaxSingle:  *maxSingle,
+		})
+		for _, w := range res.Warnings {
+			fmt.Fprintf(os.Stderr, "sweepbench: compare: warning: %s\n", w)
+		}
+		summarize(os.Stderr, rep)
+		if len(res.Problems) > 0 {
+			for _, p := range res.Problems {
+				fmt.Fprintf(os.Stderr, "sweepbench: compare: FAIL: %s\n", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sweepbench: compare: ok — no regression vs %s\n", *comparePth)
+		return
+	}
+
+	if *out != "-" {
+		if err := guardDowngrade(*out, rep, *force); err != nil {
+			fail(err)
+		}
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fail(err)
@@ -127,13 +250,54 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "sweepbench: wrote %s\n", *out)
 	}
-	fmt.Fprintf(os.Stderr, "sweepbench: gang %.2fx vs sequential (%.1f -> %.1f ns/event), access loop %.1f ns/event, %.3g allocs/event\n",
+	summarize(os.Stderr, rep)
+}
+
+// summarize prints the one-line speedup summary plus the scaling
+// matrix rows.
+func summarize(w *os.File, rep Report) {
+	fmt.Fprintf(w, "sweepbench: gang %.2fx vs sequential (%.1f -> %.1f ns/event), batch loop %.1f ns/event, access loop %.1f ns/event, %.3g allocs/event\n",
 		rep.Speedup, rep.SequentialNsPerEvent, rep.GangNsPerEvent,
-		rep.AccessNsPerEvent, rep.AccessAllocsPerEvent)
+		rep.BatchNsPerEvent, rep.AccessNsPerEvent, rep.AccessAllocsPerEvent)
 	for _, p := range rep.Scaling {
-		fmt.Fprintf(os.Stderr, "sweepbench: workers=%-3d %8s  speedup %.2fx  efficiency %.0f%%\n",
-			p.Workers, time.Duration(p.GangWallNs).Round(time.Millisecond), p.Speedup, 100*p.Efficiency)
+		fmt.Fprintf(w, "sweepbench: workers=%-3d %8s  %5.1f ns/event  speedup %.2fx  efficiency %.0f%%\n",
+			p.Workers, time.Duration(p.GangWallNs).Round(time.Millisecond),
+			p.GangNsPerEvent, p.Speedup, 100*p.Efficiency)
 	}
+}
+
+// loadReport reads a committed BENCH_sweep.json.
+func loadReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// guardDowngrade refuses to overwrite a multi-worker artifact with a
+// workers=1 run: the committed scaling matrix is the repo's proof of
+// parallel speedup, and a single-worker rerun would silently erase it
+// (exactly how the original workers:1 artifact went stale). -force
+// overrides for hosts where one worker is all there is.
+func guardDowngrade(path string, rep Report, force bool) error {
+	if force || rep.Workers > 1 {
+		return nil
+	}
+	prev, err := loadReport(path)
+	if err != nil {
+		// No previous artifact (or unreadable): nothing to protect.
+		return nil
+	}
+	if prev.Workers > 1 {
+		return fmt.Errorf("%s was recorded at workers=%d; refusing to overwrite it with a workers=%d run (rerun with -workers auto, or pass -force to downgrade deliberately)",
+			path, prev.Workers, rep.Workers)
+	}
+	return nil
 }
 
 // parseWorkers expands the -workers flag: a single size, a comma list
@@ -167,13 +331,32 @@ func parseWorkers(s string) ([]int, error) {
 	return pools, nil
 }
 
+// benchRounds is how many times each benchmark is repeated; the
+// fastest round is kept. testing.Benchmark averages within one
+// invocation, but on a shared host the whole invocation can land in a
+// slow period — the minimum across rounds approximates unloaded
+// machine speed, which is what a cross-run regression gate has to
+// compare.
+const benchRounds = 3
+
+// best runs the benchmark benchRounds times and keeps the round with
+// the lowest ns/op.
+func best(f func(b *testing.B)) testing.BenchmarkResult {
+	r := testing.Benchmark(f)
+	for i := 1; i < benchRounds; i++ {
+		if next := testing.Benchmark(f); next.NsPerOp() < r.NsPerOp() {
+			r = next
+		}
+	}
+	return r
+}
+
 // measure runs the benchmarks and assembles the report: the
 // sequential baseline once, the gang engine once per requested pool
-// size (the largest pool populates the headline gang numbers, the
-// full set populates Scaling when more than one was asked for), and
-// the steady-state access loop. A cancelled ctx stops between
-// iterations and surfaces as context.Canceled instead of a
-// half-measured report.
+// size (the largest pool populates the headline gang numbers, every
+// pool populates Scaling), and the steady-state batch and per-event
+// access loops. A cancelled ctx stops between iterations and surfaces
+// as context.Canceled instead of a half-measured report.
 func measure(ctx context.Context, ts []*trace.Trace, cfgs []cache.Config, pools []int) (Report, error) {
 	totalEvents := 0
 	for _, t := range ts {
@@ -182,7 +365,7 @@ func measure(ctx context.Context, ts []*trace.Trace, cfgs []cache.Config, pools 
 	configEvents := int64(totalEvents) * int64(len(cfgs))
 
 	var benchErr error
-	seq := testing.Benchmark(func(b *testing.B) {
+	seq := best(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for _, t := range ts {
 				if benchErr = ctx.Err(); benchErr != nil {
@@ -210,7 +393,7 @@ func measure(ctx context.Context, ts []*trace.Trace, cfgs []cache.Config, pools 
 	}
 	runs := make([]gangRun, 0, len(pools))
 	for _, w := range pools {
-		gang := testing.Benchmark(func(b *testing.B) {
+		gang := best(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := sweep.Sweep(ctx, ts, cfgs, sweep.Options{Workers: w}); err != nil {
@@ -237,7 +420,10 @@ func measure(ctx context.Context, ts []*trace.Trace, cfgs []cache.Config, pools 
 	gang := head.result
 	workers := head.workers
 
-	// Steady-state access loop: pre-built gang, no per-sweep setup.
+	// Steady-state loops: pre-built gang of one shard, no per-sweep
+	// setup. The batch loop is the path the gang engine runs (decode
+	// once per geometry, kernel per cache); the access loop is the
+	// generic per-event path, kept for comparison.
 	shard := cfgs
 	if len(shard) > sweep.DefaultShard {
 		shard = shard[:sweep.DefaultShard]
@@ -246,7 +432,35 @@ func measure(ctx context.Context, ts []*trace.Trace, cfgs []cache.Config, pools 
 	for i, cfg := range shard {
 		caches[i] = cache.MustNew(cfg)
 	}
-	access := testing.Benchmark(func(b *testing.B) {
+	const batchWindow = 8192
+	groups := groupByGeometry(caches)
+	dec := make([]cache.Decoded, batchWindow)
+	batch := best(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if benchErr = ctx.Err(); benchErr != nil {
+				return
+			}
+			events := ts[0].Events
+			for start := 0; start < len(events); start += batchWindow {
+				end := start + batchWindow
+				if end > len(events) {
+					end = len(events)
+				}
+				window := events[start:end]
+				for _, g := range groups {
+					g[0].DecodeBatch(window, dec)
+					for _, c := range g {
+						c.AccessBatch(window, dec)
+					}
+				}
+			}
+		}
+	})
+	if benchErr != nil {
+		return Report{}, benchErr
+	}
+	access := best(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if benchErr = ctx.Err(); benchErr != nil {
@@ -262,30 +476,30 @@ func measure(ctx context.Context, ts []*trace.Trace, cfgs []cache.Config, pools 
 	if benchErr != nil {
 		return Report{}, benchErr
 	}
-	accessEvents := int64(ts[0].Len()) * int64(len(shard))
+	loopEvents := int64(ts[0].Len()) * int64(len(shard))
 
 	seqNs := seq.NsPerOp()
 	gangNs := gang.NsPerOp()
 
-	// Scaling matrix: efficiency is relative to the smallest measured
-	// pool, so -workers 1,2,4 reads as classic parallel efficiency.
-	var scaling []WorkerPoint
-	if len(runs) > 1 {
-		base := runs[0]
-		for _, r := range runs[1:] {
-			if r.workers < base.workers {
-				base = r
-			}
+	// Scaling matrix: one point per measured pool; efficiency is
+	// relative to the smallest measured pool, so -workers 1,2,4 reads
+	// as classic parallel efficiency.
+	base := runs[0]
+	for _, r := range runs[1:] {
+		if r.workers < base.workers {
+			base = r
 		}
-		baseWork := float64(base.result.NsPerOp()) * float64(base.workers)
-		for _, r := range runs {
-			scaling = append(scaling, WorkerPoint{
-				Workers:    r.workers,
-				GangWallNs: r.result.NsPerOp(),
-				Speedup:    float64(seqNs) / float64(r.result.NsPerOp()),
-				Efficiency: baseWork / (float64(r.result.NsPerOp()) * float64(r.workers)),
-			})
-		}
+	}
+	baseWork := float64(base.result.NsPerOp()) * float64(base.workers)
+	scaling := make([]WorkerPoint, 0, len(runs))
+	for _, r := range runs {
+		scaling = append(scaling, WorkerPoint{
+			Workers:        r.workers,
+			GangWallNs:     r.result.NsPerOp(),
+			GangNsPerEvent: float64(r.result.NsPerOp()) / float64(configEvents),
+			Speedup:        float64(seqNs) / float64(r.result.NsPerOp()),
+			Efficiency:     baseWork / (float64(r.result.NsPerOp()) * float64(r.workers)),
+		})
 	}
 
 	return Report{
@@ -303,11 +517,35 @@ func measure(ctx context.Context, ts []*trace.Trace, cfgs []cache.Config, pools 
 		GangNsPerEvent:       float64(gangNs) / float64(configEvents),
 		GangAllocsPerEvent:   float64(gang.AllocsPerOp()) / float64(configEvents),
 
-		AccessNsPerEvent:     float64(access.NsPerOp()) / float64(accessEvents),
-		AccessAllocsPerEvent: float64(access.AllocsPerOp()) / float64(accessEvents),
+		BatchNsPerEvent:     float64(batch.NsPerOp()) / float64(loopEvents),
+		BatchAllocsPerEvent: float64(batch.AllocsPerOp()) / float64(loopEvents),
+
+		AccessNsPerEvent:     float64(access.NsPerOp()) / float64(loopEvents),
+		AccessAllocsPerEvent: float64(access.AllocsPerOp()) / float64(loopEvents),
 
 		Scaling: scaling,
+		Host:    hostInfo(),
 	}, nil
+}
+
+// groupByGeometry buckets the benchmark gang by cache.Geometry so the
+// batch loop decodes once per geometry, mirroring the sweep engine's
+// fan-out (internal/sweep keeps its own unexported copy; this one
+// exists because the steady-state loop is built here, not there).
+func groupByGeometry(caches []*cache.Cache) [][]*cache.Cache {
+	var groups [][]*cache.Cache
+	index := map[uint64]int{}
+	for _, c := range caches {
+		key := c.Geometry()
+		i, ok := index[key]
+		if !ok {
+			i = len(groups)
+			index[key] = i
+			groups = append(groups, nil)
+		}
+		groups[i] = append(groups[i], c)
+	}
+	return groups
 }
 
 func fail(err error) {

@@ -1,0 +1,261 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestParseWorkers(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+	}{
+		{"0", []int{0}},
+		{"1", []int{1}},
+		{"4", []int{4}},
+		{"1,2,4", []int{1, 2, 4}},
+		{" 1 , 2 ", []int{1, 2}},
+	}
+	for _, c := range cases {
+		got, err := parseWorkers(c.in)
+		if err != nil {
+			t.Errorf("parseWorkers(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseWorkers(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "x", "1,x", "-1", "0,2"} {
+		if _, err := parseWorkers(bad); err == nil {
+			t.Errorf("parseWorkers(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestParseWorkersAuto pins the auto matrix: powers of two up to
+// NumCPU, ending exactly at NumCPU.
+func TestParseWorkersAuto(t *testing.T) {
+	got, err := parseWorkers("auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := runtime.NumCPU()
+	if got[len(got)-1] != n {
+		t.Errorf("auto matrix ends at %d, want NumCPU=%d", got[len(got)-1], n)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Errorf("auto matrix not increasing: %v", got)
+		}
+	}
+	if got[0] != 1 {
+		t.Errorf("auto matrix starts at %d, want 1", got[0])
+	}
+}
+
+// TestGuardDowngrade pins the artifact-downgrade refusal: a committed
+// multi-worker artifact must not be silently replaced by a workers=1
+// run unless -force is given.
+func TestGuardDowngrade(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_sweep.json")
+	write := func(rep Report) {
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// No existing artifact: any run may write.
+	if err := guardDowngrade(path, Report{Workers: 1}, false); err != nil {
+		t.Errorf("fresh path refused: %v", err)
+	}
+
+	write(Report{Workers: 8})
+	if err := guardDowngrade(path, Report{Workers: 1}, false); err == nil {
+		t.Error("workers=1 over workers=8 allowed without -force")
+	} else if !strings.Contains(err.Error(), "-force") {
+		t.Errorf("refusal does not mention -force: %v", err)
+	}
+	if err := guardDowngrade(path, Report{Workers: 1}, true); err != nil {
+		t.Errorf("-force still refused: %v", err)
+	}
+	if err := guardDowngrade(path, Report{Workers: 8}, false); err != nil {
+		t.Errorf("multi-worker overwrite refused: %v", err)
+	}
+
+	write(Report{Workers: 1})
+	if err := guardDowngrade(path, Report{Workers: 1}, false); err != nil {
+		t.Errorf("workers=1 over workers=1 refused: %v", err)
+	}
+}
+
+func multiCoreReport() Report {
+	return Report{
+		Events:         1_500_000,
+		GangNsPerEvent: 7.0,
+		Scaling: []WorkerPoint{
+			{Workers: 1, GangNsPerEvent: 7.0, Speedup: 1.7},
+			{Workers: 2, GangNsPerEvent: 3.8, Speedup: 3.2},
+			{Workers: 4, GangNsPerEvent: 2.1, Speedup: 5.8},
+		},
+		Host: Host{NumCPU: 4, CPUModel: "testcpu v1"},
+	}
+}
+
+func TestCompareReportsClean(t *testing.T) {
+	committed := multiCoreReport()
+	fresh := multiCoreReport()
+	res := compareReports(committed, fresh, compareOpts{Tolerance: 0.10, MinSpeedup: 2.0, MaxSingle: 12.7})
+	if len(res.Problems) != 0 {
+		t.Errorf("clean comparison reported problems: %v", res.Problems)
+	}
+}
+
+func TestCompareReportsFailures(t *testing.T) {
+	opts := compareOpts{Tolerance: 0.10, MinSpeedup: 2.0, MaxSingle: 12.7}
+	cases := []struct {
+		name      string
+		committed func(Report) Report
+		fresh     func(Report) Report
+		want      string
+	}{
+		{"no scaling", func(r Report) Report { r.Scaling = nil; return r }, nil, "no scaling[]"},
+		{"not full core count", func(r Report) Report { r.Host.NumCPU = 8; return r }, nil, "tops out"},
+		{"speedup too low", func(r Report) Report {
+			r.Scaling[2].Speedup = 1.5
+			return r
+		}, nil, "below the required"},
+		{"single-worker too slow", func(r Report) Report {
+			r.Scaling[0].GangNsPerEvent = 14.0
+			return r
+		}, nil, "kernel budget"},
+		{"batch loop allocates", nil, func(r Report) Report {
+			r.BatchAllocsPerEvent = 0.5
+			return r
+		}, "batch loop allocates"},
+		{"access loop allocates", nil, func(r Report) Report {
+			r.AccessAllocsPerEvent = 0.5
+			return r
+		}, "access loop allocates"},
+		{"ns regression", nil, func(r Report) Report {
+			r.GangNsPerEvent = 9.0
+			return r
+		}, "exceeds committed"},
+		{"fresh scaling collapsed", nil, func(r Report) Report {
+			for i := range r.Scaling {
+				r.Scaling[i].Speedup = 1.0
+			}
+			return r
+		}, "below the 1.20x floor"},
+	}
+	for _, c := range cases {
+		committed, fresh := multiCoreReport(), multiCoreReport()
+		if c.committed != nil {
+			committed = c.committed(committed)
+		}
+		if c.fresh != nil {
+			fresh = c.fresh(fresh)
+		}
+		res := compareReports(committed, fresh, opts)
+		found := false
+		for _, p := range res.Problems {
+			if strings.Contains(p, c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no problem containing %q; got %v", c.name, c.want, res.Problems)
+		}
+	}
+}
+
+// TestCompareReportsSingleCPUHost pins the honest degradation: an
+// artifact recorded on a one-CPU host cannot prove parallel speedup,
+// so the gate warns instead of failing — and still enforces the
+// single-worker kernel budget.
+func TestCompareReportsSingleCPUHost(t *testing.T) {
+	committed := Report{
+		GangNsPerEvent: 7.0,
+		Scaling:        []WorkerPoint{{Workers: 1, GangNsPerEvent: 7.0, Speedup: 1.7}},
+		Host:           Host{NumCPU: 1, CPUModel: "testcpu v1"},
+	}
+	fresh := committed
+	res := compareReports(committed, fresh, compareOpts{Tolerance: 0.10, MinSpeedup: 2.0, MaxSingle: 12.7})
+	if len(res.Problems) != 0 {
+		t.Errorf("single-CPU artifact failed the gate: %v", res.Problems)
+	}
+	found := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "single-CPU host") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no single-CPU warning; got %v", res.Warnings)
+	}
+
+	committed.Scaling[0].GangNsPerEvent = 13.5
+	res = compareReports(committed, fresh, compareOpts{Tolerance: 0.10, MinSpeedup: 2.0, MaxSingle: 12.7})
+	if len(res.Problems) == 0 {
+		t.Error("over-budget single-worker cost passed on a single-CPU host")
+	}
+}
+
+// TestCompareReportsEventMismatch pins that ns/event is never compared
+// across different event windows: a shorter trace prefix has different
+// miss locality, so its cost is a different workload, not a regression.
+func TestCompareReportsEventMismatch(t *testing.T) {
+	committed := multiCoreReport()
+	fresh := multiCoreReport()
+	fresh.Events = 180_000
+	fresh.GangNsPerEvent = 100.0 // would fail on a matching window
+	res := compareReports(committed, fresh, compareOpts{Tolerance: 0.10, MinSpeedup: 2.0, MaxSingle: 12.7})
+	for _, p := range res.Problems {
+		if strings.Contains(p, "exceeds committed") {
+			t.Errorf("cross-window ns comparison enforced: %v", p)
+		}
+	}
+	found := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "event counts differ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no event-window warning; got %v", res.Warnings)
+	}
+}
+
+// TestCompareReportsCrossMachine pins that ns/event is never compared
+// across different CPU models — only warned about.
+func TestCompareReportsCrossMachine(t *testing.T) {
+	committed := multiCoreReport()
+	fresh := multiCoreReport()
+	fresh.Host.CPUModel = "othercpu v2"
+	fresh.GangNsPerEvent = 100.0 // would fail the 10% gate on same silicon
+	res := compareReports(committed, fresh, compareOpts{Tolerance: 0.10, MinSpeedup: 2.0, MaxSingle: 12.7})
+	for _, p := range res.Problems {
+		if strings.Contains(p, "exceeds committed") {
+			t.Errorf("cross-machine ns comparison enforced: %v", p)
+		}
+	}
+	found := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "CPU models differ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no cross-machine warning; got %v", res.Warnings)
+	}
+}

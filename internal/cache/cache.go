@@ -69,6 +69,10 @@ type Cache struct {
 	// victimObs caches the Backside's VictimObserver side, hoisting the
 	// per-eviction interface type assertion out of the hot loop.
 	victimObs VictimObserver
+	// class is the batch kernel selected for this configuration (see
+	// kernel.go); chosen once here so AccessBatch dispatches with a
+	// single switch instead of re-deriving the config class per window.
+	class kernelClass
 }
 
 // SetBackside attaches a back-side traffic sink (nil detaches).
@@ -91,6 +95,7 @@ func New(cfg Config) (*Cache, error) {
 		lineMask:  uint32(cfg.LineSize - 1),
 		setMask:   uint32(sets - 1),
 		setShift:  uint(bits.TrailingZeros(uint(sets))),
+		class:     classifyConfig(cfg),
 	}
 	if cfg.LineSize == 64 {
 		c.fullMask = ^uint64(0)

@@ -1,0 +1,64 @@
+package cache_test
+
+import (
+	"reflect"
+	"testing"
+
+	"cachewrite/internal/cache"
+	"cachewrite/internal/experiments"
+	"cachewrite/internal/trace"
+)
+
+// TestKernelGoldenEquivalence pins the tentpole guarantee for the
+// exact configuration matrix the paper figures sweep
+// (experiments.SweepConfigs, 48 configs): the specialized batch
+// kernels produce stats identical to the generic per-event Access path
+// on a seeded trace. Every one of these configs classifies as the
+// direct-mapped fast kernel, so this is the fast path's golden gate.
+func TestKernelGoldenEquivalence(t *testing.T) {
+	tr := &trace.Trace{Name: "kernelgolden"}
+	state := uint32(777777)
+	next := func() uint32 { state = state*1664525 + 1013904223; return state }
+	for i := 0; i < 40000; i++ {
+		r := next()
+		addr := (r % (1 << 17)) &^ 7
+		size := uint8(4)
+		if r&1 == 0 {
+			size = 8
+		}
+		k := trace.Read
+		if r%3 == 0 {
+			k = trace.Write
+		}
+		tr.Append(trace.Event{Addr: addr, Size: size, Gap: uint16(r % 7), Kind: k})
+	}
+
+	cfgs := experiments.SweepConfigs()
+	if len(cfgs) != 48 {
+		t.Fatalf("paper sweep has %d configs, want 48", len(cfgs))
+	}
+	const window = 1024
+	dec := make([]cache.Decoded, window)
+	for _, cfg := range cfgs {
+		ref := cache.MustNew(cfg)
+		ref.AccessTrace(tr)
+		ref.Flush()
+
+		got := cache.MustNew(cfg)
+		for start := 0; start < tr.Len(); start += window {
+			end := start + window
+			if end > tr.Len() {
+				end = tr.Len()
+			}
+			events := tr.Events[start:end]
+			got.DecodeBatch(events, dec)
+			got.AccessBatch(events, dec)
+		}
+		got.Flush()
+
+		if !reflect.DeepEqual(got.Stats(), ref.Stats()) {
+			t.Errorf("%s: batch kernel diverges from Access:\n batch %+v\n ref   %+v",
+				cfg, got.Stats(), ref.Stats())
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Trace-affinity scheduling: instead of all workers pulling from one
+// global cursor — which interleaves traces across workers and makes a
+// streamed trace ping-pong between their caches — pending units are
+// partitioned into per-worker queues grouped by trace. A worker drains
+// its own queue first (so one trace's event slice stays hot in that
+// worker's cache across all of its config shards) and steals from the
+// other queues only when its own runs dry, so no worker ever idles
+// while work remains.
+package sweep
+
+import (
+	"sync/atomic"
+
+	"cachewrite/internal/trace"
+)
+
+// stealQueues is the scheduler's work source: one unit queue per
+// worker, each drained through its own atomic cursor. Queues are
+// immutable after construction; only the cursors move, so next is
+// safe for concurrent use by all workers.
+type stealQueues struct {
+	queues [][]Unit
+	cursor []atomic.Int64
+}
+
+// newStealQueues partitions pending into len-workers queues. Units
+// sharing a trace form one affinity group (first-appearance order,
+// preserving unit order within the group) and each group is placed
+// whole onto the least-loaded queue, weighted by the group's total
+// event count — a deterministic greedy LPT assignment, so the same
+// sweep always produces the same queues. workers must be >= 1.
+func newStealQueues(pending []Unit, workers int) *stealQueues {
+	type group struct {
+		units  []Unit
+		events int64
+	}
+	groups := make([]*group, 0, len(pending))
+	byTrace := make(map[*trace.Trace]*group, len(pending))
+	for _, u := range pending {
+		g, ok := byTrace[u.Trace]
+		if !ok {
+			g = &group{}
+			byTrace[u.Trace] = g
+			groups = append(groups, g)
+		}
+		g.units = append(g.units, u)
+		g.events += int64(u.Trace.Len())
+	}
+
+	q := &stealQueues{
+		queues: make([][]Unit, workers),
+		cursor: make([]atomic.Int64, workers),
+	}
+	load := make([]int64, workers)
+	for _, g := range groups {
+		w := 0
+		for i := 1; i < workers; i++ {
+			if load[i] < load[w] {
+				w = i
+			}
+		}
+		q.queues[w] = append(q.queues[w], g.units...)
+		load[w] += g.events
+	}
+	return q
+}
+
+// next returns the next unit for worker w: from its own queue while
+// one remains, then stolen from the nearest non-empty neighbour.
+// ok is false only when every queue is drained, so a worker can never
+// starve while any unit is unclaimed.
+func (q *stealQueues) next(w int) (u Unit, ok bool) {
+	own := q.queues[w]
+	if i := int(q.cursor[w].Add(1)) - 1; i < len(own) {
+		return own[i], true
+	}
+	n := len(q.queues)
+	for off := 1; off < n; off++ {
+		v := (w + off) % n
+		victim := q.queues[v]
+		if i := int(q.cursor[v].Add(1)) - 1; i < len(victim) {
+			return victim[i], true
+		}
+	}
+	return Unit{}, false
+}

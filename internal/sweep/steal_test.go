@@ -1,0 +1,239 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cachewrite/internal/cache"
+	"cachewrite/internal/trace"
+)
+
+// TestStealQueuesTraceAffinity pins the affinity property: all units
+// of one trace land on the same worker queue, and the queues together
+// cover every pending unit exactly once.
+func TestStealQueuesTraceAffinity(t *testing.T) {
+	traces := []*trace.Trace{testTrace(1000), testTrace(2000), testTrace(500), testTrace(1500)}
+	for i, tr := range traces {
+		tr.Name = string(rune('a' + i))
+	}
+	var pending []Unit
+	for ti, tr := range traces {
+		pending = append(pending, Shard(ti, tr, policyConfigs(), 4)...)
+	}
+	q := newStealQueues(pending, 3)
+
+	owner := map[*trace.Trace]int{}
+	seen := map[string]int{}
+	for w, queue := range q.queues {
+		for _, u := range queue {
+			if prev, ok := owner[u.Trace]; ok && prev != w {
+				t.Errorf("trace %s split across workers %d and %d", u.Trace.Name, prev, w)
+			}
+			owner[u.Trace] = w
+			seen[u.Key()]++
+		}
+	}
+	if len(seen) != len(pending) {
+		t.Fatalf("queues cover %d distinct units, want %d", len(seen), len(pending))
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Errorf("unit %s appears %d times", key, n)
+		}
+	}
+	// Determinism: the same input yields the same assignment.
+	q2 := newStealQueues(pending, 3)
+	if !reflect.DeepEqual(keysOf(q.queues), keysOf(q2.queues)) {
+		t.Error("queue assignment is not deterministic")
+	}
+}
+
+func keysOf(queues [][]Unit) [][]string {
+	out := make([][]string, len(queues))
+	for i, q := range queues {
+		for _, u := range q {
+			out[i] = append(out[i], u.Key())
+		}
+	}
+	return out
+}
+
+// TestStealQueuesNoStarvation pins the liveness property behind the
+// work-stealing drain: a single worker popping alone — every other
+// worker stalled forever — still receives every unit, because next
+// falls through to the other queues once its own is dry.
+func TestStealQueuesNoStarvation(t *testing.T) {
+	traces := []*trace.Trace{testTrace(100), testTrace(50000), testTrace(200)}
+	for i, tr := range traces {
+		tr.Name = string(rune('a' + i))
+	}
+	var pending []Unit
+	for ti, tr := range traces {
+		pending = append(pending, Shard(ti, tr, policyConfigs(), 2)...)
+	}
+	q := newStealQueues(pending, 4)
+
+	got := map[string]bool{}
+	for w := 0; w < 4; w++ {
+		// Each worker in turn drains what it can see; worker 0 alone
+		// must already reach everything.
+		for {
+			u, ok := q.next(w)
+			if !ok {
+				break
+			}
+			if got[u.Key()] {
+				t.Fatalf("unit %s dispatched twice", u.Key())
+			}
+			got[u.Key()] = true
+		}
+		if w == 0 && len(got) != len(pending) {
+			t.Fatalf("lone worker 0 drained %d of %d units; stealing is broken", len(got), len(pending))
+		}
+	}
+	if len(got) != len(pending) {
+		t.Fatalf("drained %d of %d units", len(got), len(pending))
+	}
+}
+
+// TestStealQueuesUnevenLoad pins the LPT-style balancing: with one
+// giant trace and several small ones on two workers, the giant trace
+// must not share a queue with everything else.
+func TestStealQueuesUnevenLoad(t *testing.T) {
+	big := testTrace(100000)
+	big.Name = "big"
+	var pending []Unit
+	pending = append(pending, Shard(0, big, policyConfigs(), 4)...)
+	for i := 0; i < 3; i++ {
+		small := testTrace(100)
+		small.Name = string(rune('x' + i))
+		pending = append(pending, Shard(1+i, small, policyConfigs(), 4)...)
+	}
+	q := newStealQueues(pending, 2)
+	for w, queue := range q.queues {
+		hasBig, hasSmall := false, false
+		for _, u := range queue {
+			if u.Trace == big {
+				hasBig = true
+			} else {
+				hasSmall = true
+			}
+		}
+		if hasBig && hasSmall {
+			t.Errorf("worker %d holds the big trace and small traces; LPT balancing failed", w)
+		}
+	}
+}
+
+// TestUnevenDurationsByteIdentical injects wildly uneven unit
+// durations (one 60k-event trace next to 300-event traces) and
+// asserts the scheduler finishes every unit exactly once, reports a
+// valid worker index for each, and produces results byte-identical to
+// the sequential baseline — the end-to-end guarantee that stealing
+// never corrupts or drops work.
+func TestUnevenDurationsByteIdentical(t *testing.T) {
+	traces := []*trace.Trace{testTrace(60000), testTrace(300), testTrace(300), testTrace(300)}
+	for i, tr := range traces {
+		tr.Name = string(rune('a' + i))
+	}
+	cfgs := policyConfigs()
+
+	var mu sync.Mutex
+	done := map[string]int{}
+	workersSeen := map[int]bool{}
+	opt := Options{
+		Workers: 4,
+		Shard:   3,
+		OnEvent: func(e Event) {
+			if e.Kind == UnitDone {
+				mu.Lock()
+				done[e.Unit]++
+				workersSeen[e.Worker] = true
+				mu.Unlock()
+			}
+		},
+	}
+	got, err := Sweep(context.Background(), traces, cfgs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti, tr := range traces {
+		want := sequential(t, tr, cfgs)
+		for i := range cfgs {
+			if !reflect.DeepEqual(got[ti][i], want[i]) {
+				t.Errorf("trace %d %s: stolen-work results differ from sequential", ti, cfgs[i])
+			}
+		}
+	}
+	wantUnits := 0
+	for range traces {
+		wantUnits += (len(cfgs) + 2) / 3
+	}
+	if len(done) != wantUnits {
+		t.Errorf("%d distinct units completed, want %d", len(done), wantUnits)
+	}
+	for key, n := range done {
+		if n != 1 {
+			t.Errorf("unit %s completed %d times", key, n)
+		}
+	}
+	for w := range workersSeen {
+		if w < 0 || w >= 4 {
+			t.Errorf("UnitDone reported out-of-range worker %d", w)
+		}
+	}
+}
+
+// TestFanoutZeroAlloc pins the batched gang inner loop at zero
+// allocations per window, covering decode + every kernel class in one
+// mixed gang — the fanout-level companion of TestAccessZeroAlloc.
+func TestFanoutZeroAlloc(t *testing.T) {
+	tr := testTrace(4000)
+	cfgs := []cache.Config{
+		// Direct-mapped kernel.
+		{Size: 8 << 10, LineSize: 16, Assoc: 1, WriteHit: cache.WriteBack, WriteMiss: cache.WriteValidate},
+		{Size: 8 << 10, LineSize: 16, Assoc: 1, WriteHit: cache.WriteThrough, WriteMiss: cache.WriteAround},
+		// Set-associative kernel (same geometry as the 4KB direct one).
+		{Size: 16 << 10, LineSize: 16, Assoc: 2, WriteHit: cache.WriteBack, WriteMiss: cache.FetchOnWrite},
+		// Generic fallback (sub-block granularity).
+		{Size: 8 << 10, LineSize: 16, Assoc: 1, WriteHit: cache.WriteBack, WriteMiss: cache.WriteValidate, ValidGranularity: 4},
+	}
+	caches := make([]*cache.Cache, len(cfgs))
+	for i, cfg := range cfgs {
+		caches[i] = cache.MustNew(cfg)
+	}
+	groups := groupByGeometry(caches)
+	dec := make([]cache.Decoded, tr.Len())
+	// Warm once so steady state is measured.
+	fanout(tr.Events, groups, dec)
+	if av := testing.AllocsPerRun(10, func() { fanout(tr.Events, groups, dec) }); av != 0 {
+		t.Fatalf("fanout allocates: %v allocs/run", av)
+	}
+}
+
+// TestGroupByGeometry pins the grouping: same-geometry caches share a
+// group in input order, distinct geometries get their own groups in
+// first-appearance order.
+func TestGroupByGeometry(t *testing.T) {
+	mk := func(size, line, assoc int) *cache.Cache {
+		return cache.MustNew(cache.Config{Size: size, LineSize: line, Assoc: assoc,
+			WriteHit: cache.WriteBack, WriteMiss: cache.FetchOnWrite})
+	}
+	a := mk(4<<10, 16, 1)  // 256 sets × 16B
+	b := mk(8<<10, 16, 2)  // 256 sets × 16B — same geometry as a
+	c := mk(8<<10, 16, 1)  // 512 sets × 16B
+	d := mk(4<<10, 32, 1)  // 128 sets × 32B
+	e := mk(16<<10, 16, 4) // 256 sets × 16B — same geometry as a
+	groups := groupByGeometry([]*cache.Cache{a, b, c, d, e})
+	want := [][]*cache.Cache{{a, b, e}, {c}, {d}}
+	if len(groups) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(groups), len(want))
+	}
+	for i, g := range groups {
+		if !reflect.DeepEqual(g.caches, want[i]) {
+			t.Errorf("group %d holds wrong members", i)
+		}
+	}
+}

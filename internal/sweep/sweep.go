@@ -31,7 +31,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"cachewrite/internal/cache"
@@ -72,13 +71,19 @@ func gang(ctx context.Context, t *trace.Trace, cfgs []cache.Config, task *resili
 		}
 		caches[i] = c
 	}
+	groups := groupByGeometry(caches)
 	events := t.Events
+	scratch := pulseStride
+	if len(events) < scratch {
+		scratch = len(events)
+	}
+	dec := make([]cache.Decoded, scratch)
 	for start := 0; start < len(events); start += pulseStride {
 		end := start + pulseStride
 		if end > len(events) {
 			end = len(events)
 		}
-		fanout(events[start:end], caches)
+		fanout(events[start:end], groups, dec)
 		if task != nil {
 			task.Beat()
 		}
@@ -94,16 +99,49 @@ func gang(ctx context.Context, t *trace.Trace, cfgs []cache.Config, task *resili
 	return out, nil
 }
 
-// fanout is the gang inner loop: every event of one pulse window is
-// applied to every gang member. It dominates sweep wall-clock, so it
-// is under the simlint zero-allocation contract together with
-// cache.Access.
+// geomGroup is the subset of one gang sharing an address-decode
+// geometry (cache.Geometry): one DecodeBatch serves every member, so
+// the per-event address arithmetic is paid once per group per window
+// instead of once per cache per event. In the paper sweep, each
+// (size, line) point carries four policy configs, so a shard's decode
+// cost is amortized 4× before the kernels even start.
+type geomGroup struct {
+	caches []*cache.Cache
+}
+
+// groupByGeometry buckets gang members by geometry key, preserving
+// first-appearance group order and input order within each group, so
+// the fan-out stays deterministic. Setup-time only — never in the hot
+// loop.
+func groupByGeometry(caches []*cache.Cache) []geomGroup {
+	groups := make([]geomGroup, 0, len(caches))
+	index := make(map[uint64]int, len(caches))
+	for _, c := range caches {
+		key := c.Geometry()
+		i, ok := index[key]
+		if !ok {
+			i = len(groups)
+			index[key] = i
+			groups = append(groups, geomGroup{})
+		}
+		groups[i].caches = append(groups[i].caches, c)
+	}
+	return groups
+}
+
+// fanout is the gang inner loop: one pulse window is pre-decoded once
+// per geometry group (hoisted line-number/tag/byte-mask computation
+// into the dec scratch array) and every group member consumes the
+// decoded batch through its specialized kernel. It dominates sweep
+// wall-clock, so it is under the simlint zero-allocation contract
+// together with cache.AccessBatch and cache.Access.
 //
 //simlint:hotpath
-func fanout(events []trace.Event, caches []*cache.Cache) {
-	for _, e := range events {
-		for _, c := range caches {
-			c.Access(e)
+func fanout(events []trace.Event, groups []geomGroup, dec []cache.Decoded) {
+	for _, g := range groups {
+		g.caches[0].DecodeBatch(events, dec)
+		for _, c := range g.caches {
+			c.AccessBatch(events, dec)
 		}
 	}
 }
@@ -192,6 +230,11 @@ type Event struct {
 	// Err carries the failure for UnitRetried, or context for
 	// JournalFallback.
 	Err error
+	// Worker is the scheduler pool index that produced a UnitDone or
+	// UnitRetried event (-1 for events with no owning worker, e.g.
+	// UnitRestored and journal events). Exposed so tests and progress
+	// UIs can observe the trace-affinity/work-stealing behaviour.
+	Worker int
 }
 
 // Options tunes a Sweep.
@@ -280,12 +323,12 @@ func RunUnits(ctx context.Context, units []Unit, opt Options, collect func(Unit,
 			return fmt.Errorf("sweep: checkpoint: %w", err)
 		}
 		for _, w := range info.Warnings {
-			emit(Event{Kind: JournalFallback, Err: fmt.Errorf("%s", w)})
+			emit(Event{Kind: JournalFallback, Err: fmt.Errorf("%s", w), Worker: -1})
 		}
 		if info.Found && prev.Fingerprint == fp && prev.Done != nil {
 			state = prev
 		} else if info.Found {
-			emit(Event{Kind: JournalFallback,
+			emit(Event{Kind: JournalFallback, Worker: -1,
 				Err: fmt.Errorf("checkpoint %s belongs to a different sweep; starting fresh", opt.Checkpoint)})
 		}
 		state.Fingerprint = fp
@@ -298,7 +341,7 @@ func RunUnits(ctx context.Context, units []Unit, opt Options, collect func(Unit,
 				collect(u, stats)
 				mu.Unlock()
 			}
-			emit(Event{Kind: UnitRestored, Unit: u.Key()})
+			emit(Event{Kind: UnitRestored, Unit: u.Key(), Worker: -1})
 			continue
 		}
 		pending = append(pending, u)
@@ -321,13 +364,12 @@ func RunUnits(ctx context.Context, units []Unit, opt Options, collect func(Unit,
 	watchdog := resilience.NewWatchdog(resilience.WatchdogConfig{
 		SoftDeadline: opt.SoftDeadline,
 		OnStall: func(s resilience.Stall) {
-			emit(Event{Kind: UnitStalled, Unit: s.Task, Idle: s.Idle})
+			emit(Event{Kind: UnitStalled, Unit: s.Task, Idle: s.Idle, Worker: -1})
 		},
 	})
 	defer watchdog.Stop()
 
 	var (
-		cursor    atomic.Int64
 		errOnce   sync.Once
 		firstErr  error
 		saveErr   error
@@ -340,19 +382,26 @@ func RunUnits(ctx context.Context, units []Unit, opt Options, collect func(Unit,
 			cancel()
 		})
 	}
+	// Trace-affinity scheduling: units are partitioned into per-worker
+	// queues grouped by trace (see steal.go), so each streamed trace
+	// stays hot in one worker's cache; workers that drain their own
+	// queue steal from the others instead of idling.
+	var queues *stealQueues
+	if workers > 0 {
+		queues = newStealQueues(pending, workers)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				if gctx.Err() != nil {
 					return
 				}
-				i := int(cursor.Add(1)) - 1
-				if i >= len(pending) {
+				u, ok := queues.next(w)
+				if !ok {
 					return
 				}
-				u := pending[i]
 				key := u.Key()
 				task := watchdog.Begin(key)
 				var stats []cache.Stats
@@ -364,7 +413,7 @@ func RunUnits(ctx context.Context, units []Unit, opt Options, collect func(Unit,
 						return gerr
 					},
 					func(attempt int, err error) {
-						emit(Event{Kind: UnitRetried, Unit: key, Attempt: attempt, Err: err})
+						emit(Event{Kind: UnitRetried, Unit: key, Attempt: attempt, Err: err, Worker: w})
 					})
 				watchdog.End(task)
 				if err != nil {
@@ -386,9 +435,9 @@ func RunUnits(ctx context.Context, units []Unit, opt Options, collect func(Unit,
 					}
 				}
 				mu.Unlock()
-				emit(Event{Kind: UnitDone, Unit: key})
+				emit(Event{Kind: UnitDone, Unit: key, Worker: w})
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 

@@ -1,0 +1,35 @@
+#!/bin/sh
+# bench_compare.sh — the sweep-engine performance regression gate.
+# Runs sweepbench in -compare mode: measure a fresh (reduced-event)
+# sweep at the full worker matrix and compare it against the committed
+# BENCH_sweep.json. Fails when the gang engine's ns/event regresses
+# more than 10% on identical silicon, when a hot loop starts
+# allocating, or when the committed artifact violates the scaling
+# invariants (no scaling[] matrix, speedup below 2x at the top worker
+# count on a multi-core recording host, single-worker kernel cost over
+# the pre-kernel baseline). `make bench-compare` runs this; it is part
+# of `make check`.
+#
+# BENCH_COMPARE_EVENTS caps the per-trace event count for the fresh
+# measurement. The default matches `make bench` (250000): the relative
+# ns/event check only fires when fresh and committed runs cover the
+# same event window, because a shorter trace prefix has different miss
+# locality and would read as a phantom regression.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GO="${GO:-go}"
+EVENTS="${BENCH_COMPARE_EVENTS:-250000}"
+
+command -v "$GO" >/dev/null 2>&1 || {
+    echo "bench-compare: Go toolchain '$GO' not found in PATH" >&2
+    exit 1
+}
+
+[ -f BENCH_sweep.json ] || {
+    echo "bench-compare: no committed BENCH_sweep.json; run 'make bench' first" >&2
+    exit 1
+}
+
+exec "$GO" run ./cmd/sweepbench -workers auto -events "$EVENTS" -compare BENCH_sweep.json
