@@ -25,7 +25,8 @@ lint: require-go
 	$(GO) run ./cmd/simlint ./...
 
 # check is the pre-merge gate: simlint, go vet, the full suite under
-# the race detector, a short fuzz smoke over the trace decoders, a
+# the race detector (including the multi-core coherence tests in
+# internal/coherence), a short fuzz smoke over the trace decoders, a
 # single-iteration smoke of the sweep-engine benchmarks, the
 # performance regression gate against the committed BENCH_sweep.json
 # scaling matrix, the SIGKILL/resume crash-safety smoke, and the

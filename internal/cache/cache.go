@@ -661,6 +661,72 @@ func (c *Cache) SeedDirty(fracValid, fracDirty float64, seed uint64) error {
 	return nil
 }
 
+// Downgrade writes the dirty bytes of every resident line overlapping
+// [addr, addr+size) back through the backside and marks those lines
+// clean, keeping them valid — the coherence M→S transition: another
+// core needs the data, so the owner flushes it to the shared level but
+// keeps a readable copy. Returns the resident lines touched (clean or
+// dirty) and the dirty bytes flushed. Write-backs are accounted like
+// any other (Writebacks, WritebackBytes*, backside WritebackLine).
+func (c *Cache) Downgrade(addr uint32, size int) (lines, dirtyBytes int) {
+	if size <= 0 {
+		return 0, 0
+	}
+	first := addr >> c.lineShift
+	last := (addr + uint32(size) - 1) >> c.lineShift
+	for ln := first; ln <= last; ln++ {
+		set := int(ln & c.setMask)
+		tag := ln >> c.setShift
+		base := set * c.cfg.Assoc
+		if w := c.findWay(base, tag); w >= 0 {
+			l := &c.lines[base+w]
+			lines++
+			if l.dirty != 0 {
+				dirtyBytes += bits.OnesCount64(l.dirty)
+				c.writebackLine(c.lineAddrOf(set, l.tag), l.dirty)
+				l.dirty = 0
+			}
+		}
+	}
+	return lines, dirtyBytes
+}
+
+// SnoopUpdate applies a remote core's write of n bytes at addr to a
+// resident copy of the containing line, as a write-update coherence
+// protocol does: the written bytes become valid (at the configured
+// valid granularity) and any dirty claim this cache held on them is
+// released — the writer now owns the newest version of those bytes.
+// The span must lie within one line. The replacement stamp is not
+// touched: receiving an update is not a local reference. Reports
+// whether a resident copy was updated.
+func (c *Cache) SnoopUpdate(addr uint32, n uint8) bool {
+	lineNum := addr >> c.lineShift
+	base := int(lineNum&c.setMask) * c.cfg.Assoc
+	tag := lineNum >> c.setShift
+	w := c.findWay(base, tag)
+	if w < 0 {
+		return false
+	}
+	off := addr & c.lineMask
+	l := &c.lines[base+w]
+	l.valid |= c.inwardMask(off, uint32(n))
+	l.dirty &^= c.byteMask(off, uint32(n))
+	return true
+}
+
+// VisitResident calls fn for every line holding valid bytes, in
+// set-then-way order, with the line's byte address and state — for
+// invariant checkers (coherence single-writer) and debugging tools.
+func (c *Cache) VisitResident(fn func(addr uint32, st LineState)) {
+	for i := range c.lines {
+		l := &c.lines[i]
+		if l.valid == 0 {
+			continue
+		}
+		fn(c.lineAddrOf(i/c.cfg.Assoc, l.tag), LineState{Present: true, Valid: l.valid, Dirty: l.dirty})
+	}
+}
+
 // InvalidateRange invalidates every resident line overlapping
 // [addr, addr+size) — the back-invalidation an inclusive second level
 // issues when it evicts one of its (longer) lines. It returns the

@@ -545,3 +545,81 @@ func TestLineCrossingSpans(t *testing.T) {
 		t.Errorf("unaligned crossing dirty masks %#x %#x, want 0xc 0x3", a.Dirty, b.Dirty)
 	}
 }
+
+// TestDowngrade: the coherence M→S transition flushes dirty bytes
+// through the backside but keeps the line valid and readable.
+func TestDowngrade(t *testing.T) {
+	c := MustNew(Config{Size: 1 << 10, LineSize: 16, Assoc: 1,
+		WriteHit: WriteBack, WriteMiss: FetchOnWrite})
+	rec := &seqBackside{}
+	c.SetBackside(rec)
+	c.Access(trace.Event{Addr: 0x100, Size: 4, Kind: trace.Write})
+	lines, dirty := c.Downgrade(0x100, 16)
+	if lines != 1 || dirty != 4 {
+		t.Fatalf("downgrade = (%d lines, %d dirty), want (1, 4)", lines, dirty)
+	}
+	st := c.Probe(0x100)
+	if !st.Present || st.Dirty != 0 {
+		t.Fatalf("after downgrade: %+v, want present and clean", st)
+	}
+	if c.Stats().Writebacks != 1 || rec.writebacks != 1 {
+		t.Errorf("writebacks = %d (backside %d), want 1", c.Stats().Writebacks, rec.writebacks)
+	}
+	// Idempotent: a second downgrade still sees the line but flushes
+	// nothing; a downgrade of an absent line sees nothing.
+	if lines, dirty = c.Downgrade(0x100, 16); lines != 1 || dirty != 0 {
+		t.Errorf("second downgrade = (%d, %d), want (1, 0)", lines, dirty)
+	}
+	if lines, dirty = c.Downgrade(0x900, 16); lines != 0 || dirty != 0 {
+		t.Errorf("absent downgrade = (%d, %d), want (0, 0)", lines, dirty)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks after idempotent downgrades = %d, want 1", c.Stats().Writebacks)
+	}
+}
+
+// TestSnoopUpdate: a write-update protocol's remote write refreshes a
+// resident copy — written bytes become valid, dirty claims on them are
+// released — and misses absent lines without side effects.
+func TestSnoopUpdate(t *testing.T) {
+	c := MustNew(Config{Size: 1 << 10, LineSize: 16, Assoc: 1,
+		WriteHit: WriteBack, WriteMiss: FetchOnWrite})
+	c.Access(trace.Event{Addr: 0x200, Size: 8, Kind: trace.Write})
+	before := c.Probe(0x200)
+	if before.Dirty == 0 {
+		t.Fatal("setup: line should be dirty")
+	}
+	if !c.SnoopUpdate(0x200, 4) {
+		t.Fatal("resident line not updated")
+	}
+	after := c.Probe(0x200)
+	if after.Dirty != before.Dirty&^0xf {
+		t.Errorf("dirty = %#x, want %#x (low word claim released)", after.Dirty, before.Dirty&^0xf)
+	}
+	if after.Valid&0xf != 0xf {
+		t.Errorf("updated bytes not valid: %#x", after.Valid)
+	}
+	if c.SnoopUpdate(0x900, 4) {
+		t.Error("absent line reported updated")
+	}
+}
+
+// TestVisitResident: every valid line is reported exactly once with
+// its reconstructed address.
+func TestVisitResident(t *testing.T) {
+	c := MustNew(Config{Size: 1 << 10, LineSize: 16, Assoc: 2,
+		WriteHit: WriteBack, WriteMiss: FetchOnWrite})
+	c.Access(trace.Event{Addr: 0x100, Size: 4, Kind: trace.Write})
+	c.Access(trace.Event{Addr: 0x300, Size: 4, Kind: trace.Read})
+	seen := map[uint32]LineState{}
+	c.VisitResident(func(addr uint32, st LineState) { seen[addr] = st })
+	if len(seen) != 2 {
+		t.Fatalf("visited %d lines, want 2: %+v", len(seen), seen)
+	}
+	if st, ok := seen[0x100]; !ok || st.Dirty == 0 {
+		t.Errorf("line 0x100: %+v, want present dirty", st)
+	}
+	if st, ok := seen[0x300]; !ok || st.Dirty != 0 {
+		t.Errorf("line 0x300: %+v, want present clean", st)
+	}
+}

@@ -49,7 +49,8 @@ func TestIDsCompleteAndOrdered(t *testing.T) {
 	want := []string{"table1", "fig1", "fig2", "table2", "fig5", "fig7", "fig8", "fig9",
 		"table3", "fig10", "fig11", "fig13", "fig14", "fig15", "fig16", "fig17",
 		"fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25",
-		"ext-cpi", "ext-burst", "ext-victim", "ext-perf", "ext-reuse", "ext-bus", "ext-faults", "ext-switch", "ext-warm", "ext-l2policy"}
+		"ext-cpi", "ext-burst", "ext-victim", "ext-perf", "ext-reuse", "ext-bus", "ext-faults", "ext-switch", "ext-warm", "ext-l2policy",
+		"ext-coh-miss", "ext-coh-traffic", "ext-coh-schemes"}
 	if len(ids) != len(want) {
 		t.Fatalf("have %d experiments, want %d: %v", len(ids), len(want), ids)
 	}

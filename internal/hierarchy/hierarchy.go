@@ -83,9 +83,19 @@ type Stats struct {
 	// L1ToL2Bytes is the same traffic in bytes (whole-line write-backs).
 	L1ToL2Bytes uint64
 	// L2ToMemTransactions and L2ToMemBytes count traffic at the back of
-	// the L2 (zero when no L2 is configured).
+	// the L2 (zero when no L2 is configured). L2ToMemBytes charges
+	// write-backs their full line size, matching a memory port without
+	// sub-block write capability.
 	L2ToMemTransactions uint64
 	L2ToMemBytes        uint64
+	// L2ToMemWritebacks counts the write-back transactions within
+	// L2ToMemTransactions; L2ToMemWritebackBytes is their full-line
+	// share of L2ToMemBytes and L2ToMemDirtyBytes the bytes actually
+	// dirty in those victims, so sub-block dirty-write-back accounting
+	// (bus.Config.SubblockWriteback) is exact at the L2 backside too.
+	L2ToMemWritebacks     uint64
+	L2ToMemWritebackBytes uint64
+	L2ToMemDirtyBytes     uint64
 	// VictimHits counts L1 line fetches satisfied by the write cache in
 	// victim mode (each one is an avoided L1->L2 transaction).
 	VictimHits uint64
@@ -94,6 +104,14 @@ type Stats struct {
 	// data merged into outgoing L2 victims in the process.
 	BackInvalidations   uint64
 	InclusionDirtyBytes uint64
+}
+
+// L2ToMemBytesSubblock returns the L2 back-side byte traffic with
+// write-backs charged only their dirty bytes — the traffic a memory
+// port with sub-block write capability would carry
+// (bus.Config.SubblockWriteback at the L2 backside).
+func (s Stats) L2ToMemBytesSubblock() uint64 {
+	return s.L2ToMemBytes - s.L2ToMemWritebackBytes + s.L2ToMemDirtyBytes
 }
 
 // Hierarchy is a composed simulator. Drive it with Access/AccessTrace
@@ -252,6 +270,9 @@ func (s *memSink) FetchLine(addr uint32, size int) {
 func (s *memSink) WritebackLine(addr uint32, size, dirtyBytes int) {
 	s.h.stats.L2ToMemTransactions++
 	s.h.stats.L2ToMemBytes += uint64(size)
+	s.h.stats.L2ToMemWritebacks++
+	s.h.stats.L2ToMemWritebackBytes += uint64(size)
+	s.h.stats.L2ToMemDirtyBytes += uint64(dirtyBytes)
 }
 
 func (s *memSink) WriteWord(addr uint32, size uint8) {

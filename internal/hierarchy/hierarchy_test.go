@@ -206,3 +206,41 @@ func TestNoL2IsLegal(t *testing.T) {
 	}
 	h.Flush() // must not panic
 }
+
+// TestL2SubblockWritebackAccounting is the regression test for the
+// memSink accounting bug: L2 victim write-backs used to charge only
+// the full line size, discarding the dirty-byte count, so sub-block
+// write-back traffic could not be computed at the L2 backside. A
+// partially dirty L2 victim must show dirty < size.
+func TestL2SubblockWritebackAccounting(t *testing.T) {
+	l2 := cache.Config{Size: 128, LineSize: 64, Assoc: 1,
+		WriteHit: cache.WriteBack, WriteMiss: cache.FetchOnWrite}
+	h := mustNew(t, Config{
+		L1: cache.Config{Size: 64, LineSize: 16, Assoc: 1,
+			WriteHit: cache.WriteBack, WriteMiss: cache.FetchOnWrite},
+		L2: &l2,
+	})
+	// Dirty L1 line 0x0, then evict it (0x40 shares L1 set 0): the
+	// write-back dirties 16 of the 64 bytes of L2 line 0x0.
+	h.Access(wr(0x0))
+	h.Access(wr(0x40))
+	// 0x80 shares L2 set 0 with line 0x0: the fetch evicts the
+	// partially dirty L2 victim.
+	h.Access(rd(0x80))
+	hs := h.Stats()
+	if hs.L2ToMemWritebacks != 1 {
+		t.Fatalf("L2->mem writebacks = %d, want 1", hs.L2ToMemWritebacks)
+	}
+	if hs.L2ToMemWritebackBytes != 64 {
+		t.Errorf("writeback bytes = %d, want full line 64", hs.L2ToMemWritebackBytes)
+	}
+	if hs.L2ToMemDirtyBytes != 16 {
+		t.Errorf("dirty bytes = %d, want 16 (one L1 line of the victim)", hs.L2ToMemDirtyBytes)
+	}
+	if hs.L2ToMemDirtyBytes >= hs.L2ToMemWritebackBytes {
+		t.Error("partially dirty victim should show dirty < size")
+	}
+	if got, want := hs.L2ToMemBytesSubblock(), hs.L2ToMemBytes-64+16; got != want {
+		t.Errorf("subblock bytes = %d, want %d", got, want)
+	}
+}

@@ -15,6 +15,7 @@ var EnginePackages = []string{
 	"internal/bus",
 	"internal/timing",
 	"internal/sweep",
+	"internal/coherence",
 	"internal/serve", // a panic in the service would take down every tenant
 }
 
@@ -27,7 +28,8 @@ var DeterministicPackages = []string{
 	"internal/experiments",
 	"internal/campaign",
 	"internal/stats",
-	"internal/serve", // resumed jobs must report byte-identical results
+	"internal/coherence", // snoop order and stats must not depend on map order
+	"internal/serve",     // resumed jobs must report byte-identical results
 }
 
 // WorkerLoopPackages host long-running worker loops that must honor
@@ -38,7 +40,8 @@ var WorkerLoopPackages = []string{
 	"internal/sweep",
 	"internal/campaign",
 	"internal/resilience",
-	"internal/serve", // job workers and the drain loop must observe ctx
+	"internal/coherence", // multi-core replay loops run long enough to need ctx
+	"internal/serve",     // job workers and the drain loop must observe ctx
 }
 
 // All returns every simlint analyzer, in reporting order.

@@ -106,10 +106,10 @@ func corruptGapRecord(t *testing.T) []byte {
 	hand.Write(magic[:])
 	hand.WriteByte(3) // name length
 	hand.WriteString("dmg")
-	hand.WriteByte(3)                      // event count
-	hand.Write([]byte{0x04, 0x80, 0x02})   // read, size 4 (log2=2 -> bits1..3=010), abs addr 0x100
+	hand.WriteByte(3)                                // event count
+	hand.Write([]byte{0x04, 0x80, 0x02})             // read, size 4 (log2=2 -> bits1..3=010), abs addr 0x100
 	hand.Write([]byte{0x35, 0x08, 0x80, 0x80, 0x04}) // write+delta+gap, delta +4, gap 0x10000 (corrupt)
-	hand.Write([]byte{0x24, 0x08})         // read+delta, delta +4
+	hand.Write([]byte{0x24, 0x08})                   // read+delta, delta +4
 	return hand.Bytes()
 }
 
@@ -190,8 +190,8 @@ func TestStrictDeltaWrapRejected(t *testing.T) {
 	hand.WriteByte(1)
 	hand.WriteString("x")
 	hand.WriteByte(2)
-	hand.Write([]byte{0x04, 0x10})       // read, abs addr 0x10
-	hand.Write([]byte{0x24, 0x3f})       // read+delta, delta -32 -> addr -16
+	hand.Write([]byte{0x04, 0x10}) // read, abs addr 0x10
+	hand.Write([]byte{0x24, 0x3f}) // read+delta, delta -32 -> addr -16
 	if _, err := ReadBinary(bytes.NewReader(hand.Bytes())); !errors.Is(err, ErrCorruptRecord) {
 		t.Fatalf("negative-address delta error = %v, want ErrCorruptRecord", err)
 	}

@@ -21,29 +21,71 @@ func Concat(name string, ts ...*Trace) *Trace {
 	return out
 }
 
+// InterleaveStats reports the timing fidelity of an interleave merge.
+// The Gap field of an Event holds at most 65535 instructions, so a
+// merged stream whose schedule contains a longer quiet period cannot
+// express it on a single event; the merge instead carries the excess
+// forward into the gaps of later events (which were computed against a
+// smaller emitted time and therefore have headroom).
+type InterleaveStats struct {
+	// GapSplits counts events whose scheduled gap exceeded the Gap
+	// field's capacity and was carried into subsequent events.
+	GapSplits uint64
+	// CarriedMax is the largest instruction deficit outstanding at any
+	// point of the merge (how far emitted time lagged the schedule).
+	CarriedMax uint64
+	// LostInstructions is the deficit still outstanding when the merge
+	// ran out of carrier events; Instructions() of the merged trace is
+	// short by exactly this amount. Zero whenever enough events follow
+	// every oversized gap.
+	LostInstructions uint64
+}
+
 // Interleave merges traces by instruction time: events are replayed in
 // global instruction order, modelling independent phases sharing one
 // cache (coarse-grained multiprogramming without address translation).
 // Gaps are recomputed so the merged trace's instruction positions match
-// the union schedule; gaps saturate at the Gap field's capacity.
+// the union schedule. Gaps longer than the Gap field's capacity are
+// split across subsequent events, preserving total instruction time
+// (see InterleaveStats); use InterleaveOffset to also observe the
+// fidelity counters.
 func Interleave(name string, ts ...*Trace) *Trace {
+	out, _ := InterleaveOffset(name, nil, ts...)
+	return out
+}
+
+// InterleaveOffset is Interleave with a per-input start offset: input i
+// begins at instruction time offsets[i] (missing entries mean zero), so
+// staggered phase arrivals can be modelled. Ties at an instruction slot
+// resolve by input order for determinism. The returned stats describe
+// how faithfully the schedule fit the Gap field's capacity.
+func InterleaveOffset(name string, offsets []uint64, ts ...*Trace) (*Trace, InterleaveStats) {
 	type cursor struct {
 		t    *Trace
 		i    int
 		when uint64 // instruction time of the event at i
 	}
 	cs := make([]*cursor, 0, len(ts))
-	for _, t := range ts {
+	for si, t := range ts {
 		if t.Len() == 0 {
 			continue
 		}
-		cs = append(cs, &cursor{t: t, when: t.Events[0].Instructions()})
+		var off uint64
+		if si < len(offsets) {
+			off = offsets[si]
+		}
+		cs = append(cs, &cursor{t: t, when: off + t.Events[0].Instructions()})
 	}
 	out := &Trace{Name: name}
-	var lastTime uint64
+	var st InterleaveStats
+	// emitted is the instruction time the output events represent so
+	// far (sum of gap+1); ideal is the same sum had gaps been unbounded.
+	// Their difference is the deficit an oversized gap left behind,
+	// absorbed by later events whose gaps are computed against emitted.
+	var emitted, ideal uint64
 	for len(cs) > 0 {
 		// Pick the earliest event; ties resolve by input order for
-		// determinism.
+		// determinism (cursor removal below preserves relative order).
 		best := 0
 		for i := 1; i < len(cs); i++ {
 			if cs[i].when < cs[best].when {
@@ -53,15 +95,24 @@ func Interleave(name string, ts ...*Trace) *Trace {
 		c := cs[best]
 		e := c.t.Events[c.i]
 		gap := uint64(0)
-		if c.when > lastTime {
-			gap = c.when - lastTime - 1
+		if c.when > emitted {
+			gap = c.when - emitted - 1
+		}
+		if c.when > ideal {
+			ideal += c.when - ideal
+		} else {
+			ideal++
 		}
 		if gap > 0xffff {
+			st.GapSplits++
 			gap = 0xffff
 		}
 		e.Gap = uint16(gap)
 		out.Append(e)
-		lastTime = c.when
+		emitted += gap + 1
+		if d := ideal - emitted; d > st.CarriedMax {
+			st.CarriedMax = d
+		}
 
 		c.i++
 		if c.i >= c.t.Len() {
@@ -70,7 +121,8 @@ func Interleave(name string, ts ...*Trace) *Trace {
 		}
 		c.when += c.t.Events[c.i].Instructions()
 	}
-	return out
+	st.LostInstructions = ideal - emitted
+	return out, st
 }
 
 // Rebase returns a copy of the trace with delta added to every address.
@@ -83,6 +135,44 @@ func Rebase(t *Trace, delta int64) (*Trace, error) {
 			return nil, fmt.Errorf("trace: rebased event %d at %#x+%d leaves the address space", i, e.Addr, delta)
 		}
 		e.Addr = uint32(a)
+		out.Events[i] = e
+	}
+	return out, nil
+}
+
+// CompactRegions remaps the trace onto a dense address layout: every
+// occupied 1<<blockBits superblock is assigned a consecutive slot
+// (ascending by original block number) and addresses keep their offset
+// within the block. Cache index and offset bits are untouched as long
+// as blockBits exceeds the cache's index+offset width, so hit/miss
+// behavior within each region is preserved while a sparse footprint
+// (stack near the top of the address space, heap in the middle) packs
+// into the low addresses — which lets per-core window shifts stay
+// small. Numerically adjacent occupied blocks stay adjacent, so events
+// spanning a block boundary remain contiguous. blockBits must be in
+// [4, 31].
+func CompactRegions(t *Trace, blockBits uint) (*Trace, error) {
+	if blockBits < 4 || blockBits > 31 {
+		return nil, fmt.Errorf("trace: compact block bits %d outside [4,31]", blockBits)
+	}
+	seen := make(map[uint32]struct{})
+	for _, e := range t.Events {
+		seen[e.Addr>>blockBits] = struct{}{}
+		seen[(e.Addr+uint32(e.Size)-1)>>blockBits] = struct{}{}
+	}
+	blocks := make([]uint32, 0, len(seen))
+	for b := range seen {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	slot := make(map[uint32]uint32, len(blocks))
+	for i, b := range blocks {
+		slot[b] = uint32(i)
+	}
+	mask := uint32(1)<<blockBits - 1
+	out := &Trace{Name: t.Name, Events: make([]Event, t.Len())}
+	for i, e := range t.Events {
+		e.Addr = slot[e.Addr>>blockBits]<<blockBits | e.Addr&mask
 		out.Events[i] = e
 	}
 	return out, nil
