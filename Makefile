@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint require-go fuzz-smoke bench-smoke bench-compare resilience-smoke serve-smoke bench bench-all
+.PHONY: build test check lint require-go fuzz-smoke bench-smoke bench-compare resilience-smoke serve-smoke faultfs-smoke bench bench-all
 
 # require-go fails fast with a clear message when the Go toolchain is
 # missing or $(GO) points at a nonexistent binary, instead of letting
@@ -31,8 +31,10 @@ lint: require-go
 # performance regression gate against the committed BENCH_sweep.json
 # scaling matrix, the SIGKILL/resume crash-safety smoke, and the
 # simserved chaos smoke (64 racing clients, 3 server SIGKILLs,
-# graceful drain). Lint runs before the race suite so invariant
-# violations fail in seconds, not minutes.
+# graceful drain), and the storage-fault chaos smoke (the same plan
+# with torn writes/ENOSPC/failed renames injected under the state
+# dir). Lint runs before the race suite so invariant violations fail
+# in seconds, not minutes.
 check: build
 	$(MAKE) lint
 	$(GO) vet ./...
@@ -42,11 +44,13 @@ check: build
 	$(MAKE) bench-compare
 	$(MAKE) resilience-smoke
 	$(MAKE) serve-smoke
-	@echo "check: gates passed: build lint vet race fuzz-smoke bench-smoke bench-compare resilience-smoke serve-smoke"
+	$(MAKE) faultfs-smoke
+	@echo "check: gates passed: build lint vet race fuzz-smoke bench-smoke bench-compare resilience-smoke serve-smoke faultfs-smoke"
 
 fuzz-smoke: require-go
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime 5s
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzStreamBinary$$' -fuzztime 5s
+	$(GO) test ./internal/resilience -run '^$$' -fuzz '^FuzzJournalRecover$$' -fuzztime 5s
 
 # bench-smoke compiles and runs every sweep benchmark for one
 # iteration — fast enough for the gate, enough to catch bit-rot.
@@ -74,6 +78,13 @@ resilience-smoke: require-go
 # bounded 503 shedding, and a clean SIGTERM drain.
 serve-smoke: require-go
 	GO="$(GO)" sh scripts/serve_smoke.sh
+
+# faultfs-smoke reruns the simserved chaos plan with a fault-injecting
+# filesystem under the state dir (torn writes, ENOSPC, failed renames)
+# plus two SIGKILLs, and still requires golden results and zero lost
+# jobs. See scripts/faultfs_smoke.sh and docs/faults.md.
+faultfs-smoke: require-go
+	GO="$(GO)" sh scripts/faultfs_smoke.sh
 
 # bench measures the gang sweep engine against the sequential baseline
 # on the full figure sweep at every worker-pool size up to the full

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"cachewrite/internal/serve"
+	"cachewrite/internal/vfs"
 	"cachewrite/internal/workload"
 )
 
@@ -55,11 +56,27 @@ func main() {
 		tcache      = flag.String("tracecache", "auto", "on-disk trace cache dir ('auto' = user cache dir, 'off' = disable)")
 		traceMem    = flag.Int("trace-mem", 16, "decoded traces shared in memory across sessions")
 		seed        = flag.Int64("seed", 1, "jitter RNG seed for Retry-After hints")
+		faultfs     = flag.String("faultfs", "", "storage fault plan for the state dir, e.g. seed=7,rate=0.02,kinds=torn+enospc+rename (chaos testing; see docs/faults.md)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Under -faultfs every durability-surface file operation goes
+	// through a fault-injecting wrapper; the exit log reports what was
+	// injected so the smoke harness can assert faults actually fired.
+	var fsys vfs.FS
+	var faulty *vfs.Faulty
+	if *faultfs != "" {
+		plan, err := vfs.ParsePlan(*faultfs)
+		if err != nil {
+			fail(err)
+		}
+		faulty = vfs.NewFaulty(vfs.OS{}, plan)
+		fsys = faulty
+		fmt.Fprintf(os.Stderr, "simserved: fault injection armed: %s\n", *faultfs)
+	}
 
 	srv, err := serve.New(serve.Config{
 		StateDir:        *state,
@@ -76,6 +93,7 @@ func main() {
 		TraceDir:        workload.ResolveCacheDir(*tcache),
 		TraceMem:        *traceMem,
 		Seed:            *seed,
+		FS:              fsys,
 		Now:             time.Now,
 	})
 	if err != nil {
@@ -113,6 +131,9 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+	}
+	if faulty != nil {
+		fmt.Fprintf(os.Stderr, "simserved: fault injection tally: %s\n", faulty.CountsSnapshot())
 	}
 	fmt.Fprintln(os.Stderr, "simserved: drained cleanly")
 }

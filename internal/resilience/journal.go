@@ -18,10 +18,13 @@ package resilience
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
+	"io/fs"
 	"path/filepath"
+
+	"cachewrite/internal/vfs"
 )
 
 // ExitInterrupted is the process exit code the CLIs use when a run was
@@ -48,6 +51,7 @@ type Journal[T any] struct {
 	path    string
 	kind    string
 	version int
+	fs      vfs.FS
 }
 
 // NewJournal returns a journal for snapshots of T at path. kind names
@@ -55,7 +59,14 @@ type Journal[T any] struct {
 // revision; Load ignores snapshots whose kind or version differ, so a
 // schema change invalidates old journals instead of misdecoding them.
 func NewJournal[T any](path, kind string, version int) *Journal[T] {
-	return &Journal[T]{path: path, kind: kind, version: version}
+	return NewJournalFS[T](vfs.OS{}, path, kind, version)
+}
+
+// NewJournalFS is NewJournal on an explicit filesystem — the seam the
+// crash-consistency harness uses to inject storage faults under every
+// write boundary of a commit.
+func NewJournalFS[T any](fsys vfs.FS, path, kind string, version int) *Journal[T] {
+	return &Journal[T]{path: path, kind: kind, version: version, fs: fsys}
 }
 
 // Path returns the snapshot path.
@@ -86,15 +97,15 @@ func (j *Journal[T]) Save(v T) error {
 	header := fmt.Sprintf("%s %s v%d crc32=%08x len=%d\n",
 		journalMagic, j.kind, j.version, crc32.ChecksumIEEE(payload), len(payload))
 	dir := filepath.Dir(j.path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := j.fs.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("resilience: journal %s: %w", j.path, err)
 	}
-	tmp, err := os.CreateTemp(dir, ".journal-*")
+	tmp, err := j.fs.CreateTemp(dir, ".journal-*")
 	if err != nil {
 		return fmt.Errorf("resilience: journal %s: %w", j.path, err)
 	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.WriteString(header); err != nil {
+	defer j.fs.Remove(tmp.Name())
+	if _, err := fmt.Fprint(tmp, header); err != nil {
 		tmp.Close()
 		return fmt.Errorf("resilience: journal %s: %w", j.path, err)
 	}
@@ -110,13 +121,20 @@ func (j *Journal[T]) Save(v T) error {
 		return fmt.Errorf("resilience: journal %s: %w", j.path, err)
 	}
 	// Rotate the current snapshot to the ".prev" slot so Load has a
-	// good snapshot to fall back to if anything corrupts the new one.
-	if _, err := os.Stat(j.path); err == nil {
-		if err := os.Rename(j.path, j.path+prevSuffix); err != nil {
-			return fmt.Errorf("resilience: journal %s: rotate: %w", j.path, err)
+	// good snapshot to fall back to if anything corrupts the new one —
+	// but only if the current snapshot itself validates. Rotating
+	// blindly would shove a corrupt current (torn by an earlier crash)
+	// over the last *good* ".prev", destroying the only recoverable
+	// copy; a corrupt current is instead left for the commit rename to
+	// overwrite.
+	if _, err := j.fs.Stat(j.path); err == nil {
+		if _, derr := j.decodeFile(j.path); derr == nil {
+			if err := j.fs.Rename(j.path, j.path+prevSuffix); err != nil {
+				return fmt.Errorf("resilience: journal %s: rotate: %w", j.path, err)
+			}
 		}
 	}
-	if err := os.Rename(tmp.Name(), j.path); err != nil {
+	if err := j.fs.Rename(tmp.Name(), j.path); err != nil {
 		return fmt.Errorf("resilience: journal %s: %w", j.path, err)
 	}
 	return nil
@@ -141,7 +159,7 @@ func (j *Journal[T]) Load() (T, LoadInfo, error) {
 			info.Fallback = cand.fallback
 			return v, info, nil
 		}
-		if os.IsNotExist(err) {
+		if errors.Is(err, fs.ErrNotExist) {
 			continue
 		}
 		if _, corrupt := err.(*corruptError); corrupt {
@@ -159,7 +177,7 @@ func (j *Journal[T]) Load() (T, LoadInfo, error) {
 func (j *Journal[T]) Remove() error {
 	var first error
 	for _, p := range []string{j.path, j.path + prevSuffix} {
-		if err := os.Remove(p); err != nil && !os.IsNotExist(err) && first == nil {
+		if err := j.fs.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) && first == nil {
 			first = err
 		}
 	}
@@ -179,7 +197,7 @@ func corruptf(format string, args ...any) error {
 // decodeFile reads and validates one snapshot file.
 func (j *Journal[T]) decodeFile(path string) (T, error) {
 	var zero T
-	data, err := os.ReadFile(path)
+	data, err := j.fs.ReadFile(path)
 	if err != nil {
 		return zero, err
 	}

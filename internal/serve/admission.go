@@ -111,6 +111,17 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, *Rejection, error) {
 			RetryAfterMs: s.retryAfterLocked(0) + s.cfg.DrainGrace.Milliseconds(),
 		}, nil
 	}
+	if wait, open := s.breakerWaitLocked(spec.Tenant); open {
+		// The tenant's recent jobs kept dying on storage faults;
+		// shedding with the remaining cooldown is more honest than
+		// admitting a job onto a disk that keeps eating them.
+		s.metrics.RejectedBreaker++
+		return JobStatus{}, &Rejection{
+			Reason: fmt.Sprintf("tenant %s circuit breaker open after repeated storage faults (cooldown %s)",
+				spec.Tenant, wait.Round(time.Millisecond)),
+			RetryAfterMs: wait.Milliseconds(),
+		}, nil
+	}
 	total, forTenant := s.pendingLocked(spec.Tenant)
 	if total >= s.cfg.Queue {
 		s.metrics.RejectedQueue++

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cachewrite/internal/vfs"
+	"cachewrite/internal/workload"
+)
+
+// fakeClock is an injectable wall clock for the breaker cooldown tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestBreakerShedsAfterStorageFaultJobs drives the per-tenant circuit
+// breaker end to end: a filesystem that eats every checkpoint read
+// makes the tenant's jobs die on storage faults; after BreakerThreshold
+// of them the tenant's submits are shed with an honest Retry-After,
+// and a clean probe job after the cooldown closes the breaker again.
+func TestBreakerShedsAfterStorageFaultJobs(t *testing.T) {
+	clk := newFakeClock()
+	faulty := vfs.NewFaulty(vfs.NewMem(), vfs.Plan{})
+	const cooldown = 30 * time.Second
+	s := newTestServer(t, func(c *Config) {
+		c.StateDir = "/state"
+		c.FS = faulty
+		c.Now = clk.Now
+		c.BreakerThreshold = 3
+		c.BreakerCooldown = cooldown
+	})
+	stop := startRun(t, s)
+	defer stop()
+
+	// From here on every read fails with EIO: the sweep checkpoint
+	// Load at the start of each workload dies on a storage fault.
+	faulty.Reset(vfs.Plan{Seed: 1, Rate: 1, Kinds: vfs.KindReadEIO})
+
+	for i := 0; i < 3; i++ {
+		st := mustSubmit(t, s, testSpec("tenant-a", ""))
+		st = awaitTerminal(t, s, st.ID)
+		if st.State != StateFailed {
+			t.Fatalf("job %d: state = %s (error %q), want failed", i, st.State, st.Error)
+		}
+		if len(st.Failures) == 0 || !st.Failures[0].Storage {
+			t.Fatalf("job %d: failures %+v should be classified as storage faults", i, st.Failures)
+		}
+	}
+	if m := s.MetricsSnapshot(); m.BreakerOpens != 1 {
+		t.Fatalf("BreakerOpens = %d, want 1 after %d storage-fault jobs", m.BreakerOpens, 3)
+	}
+
+	// The breaker is open: tenant-a is shed with the remaining cooldown.
+	_, rej, err := s.Submit(testSpec("tenant-a", ""))
+	if err != nil || rej == nil {
+		t.Fatalf("open breaker should shed: rej=%v err=%v", rej, err)
+	}
+	if !strings.Contains(rej.Reason, "circuit breaker") {
+		t.Errorf("reason %q should name the breaker", rej.Reason)
+	}
+	if rej.RetryAfterMs != cooldown.Milliseconds() {
+		t.Errorf("RetryAfterMs = %d, want the honest remaining cooldown %d",
+			rej.RetryAfterMs, cooldown.Milliseconds())
+	}
+	if m := s.MetricsSnapshot(); m.RejectedBreaker != 1 {
+		t.Errorf("RejectedBreaker = %d, want 1", m.RejectedBreaker)
+	}
+	// Other tenants are unaffected: the breaker is per tenant. (The job
+	// will fail on the same disk, but it is admitted.)
+	st := mustSubmit(t, s, testSpec("tenant-b", ""))
+	awaitTerminal(t, s, st.ID)
+
+	// Cooldown over and the disk healed: the probe job runs clean and
+	// closes the breaker.
+	clk.Advance(cooldown + time.Second)
+	faulty.Reset(vfs.Plan{})
+	st = mustSubmit(t, s, testSpec("tenant-a", ""))
+	st = awaitTerminal(t, s, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("probe job state = %s (error %q), want done", st.State, st.Error)
+	}
+	mustSubmit(t, s, testSpec("tenant-a", ""))
+}
+
+// TestAckedJobSurvivesPowerCut is the serve half of the ack contract: a
+// job the client saw admitted (Submit returned, i.e. the 202 was
+// writable) survives a power cut — admission is flushed and fsynced
+// before it is visible.
+func TestAckedJobSurvivesPowerCut(t *testing.T) {
+	mem := vfs.NewMem()
+	cfg := testConfig(t)
+	cfg.StateDir = "/state"
+	cfg.FS = mem
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	admitted := mustSubmit(t, s1, testSpec("tenant-a", "req-1"))
+
+	// Power cut: everything not fsynced is gone.
+	mem.Crash()
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New after crash: %v", err)
+	}
+	if m := s2.MetricsSnapshot(); m.JobsResumed != 1 {
+		t.Fatalf("JobsResumed = %d, want the acked job back", m.JobsResumed)
+	}
+	st, ok := s2.Job(admitted.ID)
+	if !ok {
+		t.Fatalf("acked job %s lost across power cut", admitted.ID)
+	}
+	if st.State != StateQueued {
+		t.Errorf("resumed job state = %s, want queued", st.State)
+	}
+}
+
+// TestStatuszSurfacesStoreDegraded: trace-cache stores downgraded by a
+// full disk show up in the server's statusz counters, and the job that
+// hit them still completes (degrade, don't fail).
+func TestStatuszSurfacesStoreDegraded(t *testing.T) {
+	oldFS := workload.FS
+	workload.FS = vfs.NewFaulty(vfs.OS{}, vfs.Plan{Seed: 1, Rate: 1, Kinds: vfs.KindENOSPC})
+	t.Cleanup(func() { workload.FS = oldFS })
+
+	s := newTestServer(t, func(c *Config) { c.TraceDir = t.TempDir() })
+	before := s.MetricsSnapshot().StoreDegraded
+	stop := startRun(t, s)
+	defer stop()
+
+	st := mustSubmit(t, s, testSpec("tenant-a", ""))
+	st = awaitTerminal(t, s, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("state = %s (error %q): a failing trace cache must degrade, not fail the job", st.State, st.Error)
+	}
+	if after := s.MetricsSnapshot().StoreDegraded; after <= before {
+		t.Errorf("StoreDegraded = %d -> %d, want an increase", before, after)
+	}
+}
+
+// TestRemoveCkptsSparesPoisonedJobs: a terminal job with quarantined
+// units keeps its sweep checkpoints (the poison set must survive for
+// resubmits to skip), while a clean terminal job's are reaped.
+func TestRemoveCkptsSparesPoisonedJobs(t *testing.T) {
+	mem := vfs.NewMem()
+	s := newTestServer(t, func(c *Config) {
+		c.StateDir = "/state"
+		c.FS = mem
+	})
+
+	plant := func(j *job) {
+		for ti := range j.Spec.Workloads {
+			f, err := mem.CreateTemp("/state/sweeps", "ckpt")
+			if err != nil {
+				t.Fatalf("CreateTemp: %v", err)
+			}
+			f.Close()
+			if err := mem.Rename(f.Name(), s.ckptPath(j.ID, ti)); err != nil {
+				t.Fatalf("Rename: %v", err)
+			}
+		}
+	}
+	exists := func(p string) bool { _, err := mem.Stat(p); return err == nil }
+
+	clean := &job{ID: "j000001", Spec: testSpec("tenant-a", "")}
+	poisoned := &job{
+		ID:       "j000002",
+		Spec:     testSpec("tenant-a", ""),
+		Failures: []Failure{{Workload: "liver", Poisoned: []string{"liver/shard0"}}},
+	}
+	plant(clean)
+	plant(poisoned)
+
+	s.removeCkpts(clean)
+	if exists(s.ckptPath(clean.ID, 0)) {
+		t.Errorf("clean job's checkpoint should be reaped")
+	}
+	s.removeCkpts(poisoned)
+	if !exists(s.ckptPath(poisoned.ID, 0)) {
+		t.Errorf("poisoned job's checkpoint must survive for resubmits to skip the quarantine")
+	}
+}

@@ -253,6 +253,13 @@ type Failure struct {
 	Unit     string `json:"unit,omitempty"`
 	Attempts int    `json:"attempts,omitempty"`
 	Error    string `json:"error"`
+	// Storage marks failures classified as storage faults
+	// (vfs.IsStorageFault): injected faults, ENOSPC, EIO. These feed
+	// the tenant's circuit breaker.
+	Storage bool `json:"storage,omitempty"`
+	// Poisoned lists sweep units quarantined after exhausting their
+	// retry budget; resubmitting the job skips them.
+	Poisoned []string `json:"poisoned,omitempty"`
 }
 
 // JobStatus is the client-visible snapshot of a job.
@@ -281,6 +288,17 @@ type job struct {
 	Results    []WorkloadResult
 	Failures   []Failure
 	Error      string
+}
+
+// poisoned reports whether any of the job's failures carry quarantined
+// units (their sweep checkpoints must outlive the job).
+func (j *job) poisoned() bool {
+	for _, f := range j.Failures {
+		if len(f.Poisoned) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // status snapshots the job. Caller holds the server mutex. brief drops

@@ -3,12 +3,14 @@ package serve
 import (
 	"context"
 	"errors"
+	"sort"
 	"sync"
 	"time"
 
 	"cachewrite/internal/cache"
 	"cachewrite/internal/resilience"
 	"cachewrite/internal/sweep"
+	"cachewrite/internal/vfs"
 )
 
 // Run processes jobs until ctx is cancelled, then drains: admissions
@@ -175,6 +177,13 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 			j.Error = failures[0].Error
 		}
 	}
+	storageFault := false
+	for _, f := range failures {
+		if f.Storage {
+			storageFault = true
+		}
+	}
+	s.recordJobStorageOutcomeLocked(j.Tenant, storageFault)
 	s.observeJobLocked(s.now().Sub(start))
 	_ = s.persistLocked()
 	s.removeCkpts(j)
@@ -201,7 +210,7 @@ func (s *Server) runWorkload(ctx, jctx context.Context, j *job, ti int, name str
 		if errors.Is(err, context.DeadlineExceeded) {
 			return nil, &Failure{Workload: name, Error: "deadline exceeded before trace was ready"}, false
 		}
-		return nil, &Failure{Workload: name, Error: err.Error()}, false
+		return nil, &Failure{Workload: name, Error: err.Error(), Storage: vfs.IsStorageFault(err)}, false
 	}
 	if j.Spec.Events > 0 && t.Len() > j.Spec.Events {
 		t = t.Slice(0, j.Spec.Events)
@@ -213,6 +222,8 @@ func (s *Server) runWorkload(ctx, jctx context.Context, j *job, ti int, name str
 		Checkpoint:   s.ckptPath(j.ID, ti),
 		Retries:      s.cfg.Retries,
 		SoftDeadline: s.cfg.StallWarn,
+		FS:           s.fs,
+		Quarantine:   true,
 		OnEvent: func(e sweep.Event) {
 			// Called under the sweep's collect lock; counter updates take
 			// the server lock briefly.
@@ -228,6 +239,10 @@ func (s *Server) runWorkload(ctx, jctx context.Context, j *job, ti int, name str
 				s.metrics.UnitsRetried++
 			case sweep.UnitStalled:
 				s.metrics.UnitStalls++
+			case sweep.UnitPoisoned:
+				s.metrics.UnitsPoisoned++
+			case sweep.JournalDegraded:
+				s.metrics.CheckpointDegraded++
 			}
 			s.mu.Unlock()
 		},
@@ -244,11 +259,21 @@ func (s *Server) runWorkload(ctx, jctx context.Context, j *job, ti int, name str
 	if errors.Is(err, context.DeadlineExceeded) {
 		return nil, &Failure{Workload: name, Error: "deadline exceeded"}, false
 	}
-	f := &Failure{Workload: name, Error: err.Error()}
+	f := &Failure{Workload: name, Error: err.Error(), Storage: vfs.IsStorageFault(err)}
 	var ue *resilience.UnitError
 	if errors.As(err, &ue) {
 		f.Unit = ue.Unit
 		f.Attempts = ue.Attempts
+	}
+	var pe *sweep.PoisonedError
+	if errors.As(err, &pe) {
+		// Quarantined units: name them so the client knows exactly what
+		// is missing from the results and will be skipped on resubmit.
+		//simlint:allow determinism keys are sorted before use
+		for unit := range pe.Units {
+			f.Poisoned = append(f.Poisoned, unit)
+		}
+		sort.Strings(f.Poisoned)
 	}
 	return nil, f, false
 }

@@ -47,6 +47,7 @@ import (
 
 	"cachewrite/internal/resilience"
 	"cachewrite/internal/sweep"
+	"cachewrite/internal/vfs"
 	"cachewrite/internal/workload"
 )
 
@@ -98,6 +99,19 @@ type Config struct {
 	TraceMem int
 	// Seed seeds the jitter RNG for Retry-After hints (default 1).
 	Seed int64
+	// FS is the filesystem under the durability surfaces — the job
+	// journal, sweep checkpoints and checkpoint cleanup (default: the
+	// real one). The chaos harness passes a vfs.Faulty here to prove
+	// the service degrades honestly under storage faults.
+	FS vfs.FS
+	// BreakerThreshold is how many consecutive jobs of one tenant must
+	// end with storage-fault failures before that tenant's circuit
+	// breaker opens (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds a tenant's
+	// submits before admitting a probe job again (default 30s). The
+	// cooldown is measured on the injected Now clock.
+	BreakerCooldown time.Duration
 	// Now is the clock (required by the determinism contract to be
 	// injected; cmd/simserved passes time.Now). Wall-clock values feed
 	// only Retry-After estimates, never results.
@@ -125,14 +139,28 @@ type Metrics struct {
 	RejectedQueue    int64 `json:"rejected_queue_full"`
 	RejectedTenant   int64 `json:"rejected_tenant_full"`
 	RejectedDraining int64 `json:"rejected_draining"`
-	JobsDone         int64 `json:"jobs_done"`
-	JobsPartial      int64 `json:"jobs_partial"`
-	JobsFailed       int64 `json:"jobs_failed"`
-	JobsResumed      int64 `json:"jobs_resumed"`
-	UnitsDone        int64 `json:"units_done"`
-	UnitsRestored    int64 `json:"units_restored"`
-	UnitsRetried     int64 `json:"units_retried"`
-	UnitStalls       int64 `json:"unit_stalls"`
+	// RejectedBreaker counts submits shed because the tenant's circuit
+	// breaker was open after repeated storage-fault failures.
+	RejectedBreaker int64 `json:"rejected_breaker_open"`
+	// BreakerOpens counts circuit-breaker trips across all tenants.
+	BreakerOpens  int64 `json:"breaker_opens"`
+	JobsDone      int64 `json:"jobs_done"`
+	JobsPartial   int64 `json:"jobs_partial"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsResumed   int64 `json:"jobs_resumed"`
+	UnitsDone     int64 `json:"units_done"`
+	UnitsRestored int64 `json:"units_restored"`
+	UnitsRetried  int64 `json:"units_retried"`
+	UnitStalls    int64 `json:"unit_stalls"`
+	// UnitsPoisoned counts sweep units journaled as poisoned after
+	// exhausting their retry budget (skipped, not retried forever).
+	UnitsPoisoned int64 `json:"units_poisoned"`
+	// CheckpointDegraded counts sweep checkpoint snapshots or cleanups
+	// that failed and were degraded (the run continued).
+	CheckpointDegraded int64 `json:"checkpoint_degraded"`
+	// StoreDegraded mirrors the process-wide trace-cache counter: cache
+	// stores downgraded to in-memory generation by a failing disk.
+	StoreDegraded int64 `json:"store_degraded"`
 }
 
 // Server is the resident sweep service. Construct with New, serve its
@@ -142,6 +170,7 @@ type Server struct {
 	cfg     Config
 	now     func() time.Time
 	logf    func(string, ...any)
+	fs      vfs.FS
 	traces  *workload.SharedTraces
 	journal *resilience.Journal[persistedState]
 
@@ -149,6 +178,7 @@ type Server struct {
 	jobs       []*job          // admission order; persisted in this order
 	byID       map[string]*job // lookup only — never ranged over
 	byRequest  map[string]*job // (tenant, request_id) dedup index
+	breakers   map[string]*tenantBreaker
 	seq        int
 	draining   bool
 	running    int
@@ -202,6 +232,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.BreakerThreshold < 1 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 30 * time.Second
+	}
+	if cfg.FS == nil {
+		cfg.FS = vfs.OS{}
+	}
 	if cfg.Now == nil {
 		cfg.Now = func() time.Time { return time.Time{} }
 	}
@@ -210,17 +249,24 @@ func New(cfg Config) (*Server, error) {
 			fmt.Fprintf(os.Stderr, "simserved: "+format+"\n", args...)
 		}
 	}
-	if err := os.MkdirAll(filepath.Join(cfg.StateDir, "sweeps"), 0o755); err != nil {
-		return nil, fmt.Errorf("serve: state dir: %w", err)
+	if err := cfg.FS.MkdirAll(filepath.Join(cfg.StateDir, "sweeps"), 0o755); err != nil {
+		// A real mkdir of an existing directory is a no-op; only refuse
+		// to start when the state dir genuinely is not there (a faulty
+		// disk can report ENOSPC for the no-op case too).
+		if _, serr := cfg.FS.Stat(filepath.Join(cfg.StateDir, "sweeps")); serr != nil {
+			return nil, fmt.Errorf("serve: state dir: %w", err)
+		}
 	}
 	s := &Server{
 		cfg:       cfg,
 		now:       cfg.Now,
 		logf:      cfg.Logf,
+		fs:        cfg.FS,
 		traces:    workload.NewSharedTraces(cfg.TraceDir, cfg.TraceMem),
-		journal:   resilience.NewJournal[persistedState](filepath.Join(cfg.StateDir, "jobs.journal"), "simserved", journalVersion),
+		journal:   resilience.NewJournalFS[persistedState](cfg.FS, filepath.Join(cfg.StateDir, "jobs.journal"), "simserved", journalVersion),
 		byID:      map[string]*job{},
 		byRequest: map[string]*job{},
+		breakers:  map[string]*tenantBreaker{},
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		wake:      make(chan struct{}, cfg.JobWorkers),
 	}
@@ -295,12 +341,17 @@ func (s *Server) ckptPath(jobID string, ti int) string {
 }
 
 // removeCkpts clears a terminal job's sweep checkpoints (successful
-// sweeps already removed their own; this reaps the failed ones).
+// sweeps already removed their own; this reaps the failed ones). A
+// poisoned job keeps its checkpoints: the poison set must survive so a
+// resubmission of the same job skips the quarantined units.
 func (s *Server) removeCkpts(j *job) {
+	if j.poisoned() {
+		return
+	}
 	for ti := range j.Spec.Workloads {
 		p := s.ckptPath(j.ID, ti)
-		_ = os.Remove(p)
-		_ = os.Remove(p + ".prev")
+		_ = s.fs.Remove(p)
+		_ = s.fs.Remove(p + ".prev")
 	}
 }
 
@@ -359,11 +410,14 @@ func (s *Server) Health() Health {
 	return h
 }
 
-// MetricsSnapshot returns the statusz counters.
+// MetricsSnapshot returns the statusz counters. StoreDegraded is read
+// from the process-wide trace-cache counters at snapshot time.
 func (s *Server) MetricsSnapshot() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.metrics
+	m := s.metrics
+	m.StoreDegraded = workload.CacheStatsSnapshot().StoreDegraded
+	return m
 }
 
 // queuedTenantsLocked returns the sorted tenants that have at least

@@ -17,6 +17,7 @@ var EnginePackages = []string{
 	"internal/sweep",
 	"internal/coherence",
 	"internal/serve", // a panic in the service would take down every tenant
+	"internal/vfs",   // fault injection must report errors, never abort the host
 }
 
 // DeterministicPackages produce results (figures, tables, campaign
@@ -30,6 +31,18 @@ var DeterministicPackages = []string{
 	"internal/stats",
 	"internal/coherence", // snoop order and stats must not depend on map order
 	"internal/serve",     // resumed jobs must report byte-identical results
+	"internal/vfs",       // fault plans must replay identically from their seed
+}
+
+// DurabilityPackages own a durability surface (journals, trace cache,
+// job state) and must reach the filesystem only through an injected
+// vfs.FS, so the fault-injection harness and crash-consistency proofs
+// cover every write they make. internal/vfs itself is excluded: its OS
+// passthrough is the sanctioned home for the real os.* calls.
+var DurabilityPackages = []string{
+	"internal/resilience",
+	"internal/workload",
+	"internal/serve",
 }
 
 // WorkerLoopPackages host long-running worker loops that must honor
@@ -52,5 +65,6 @@ func All() []*Analyzer {
 		SentinelErr,
 		Determinism,
 		CtxLoop,
+		VFSOnly,
 	}
 }

@@ -29,3 +29,7 @@ func TestDeterminism(t *testing.T) {
 func TestCtxLoop(t *testing.T) {
 	simlinttest.Run(t, simlint.CtxLoop, "ctxloop")
 }
+
+func TestVFSOnly(t *testing.T) {
+	simlinttest.Run(t, simlint.VFSOnly, "vfsonly")
+}

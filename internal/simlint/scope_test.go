@@ -20,6 +20,7 @@ func TestScopedPackagesExist(t *testing.T) {
 		simlint.EnginePackages,
 		simlint.DeterministicPackages,
 		simlint.WorkerLoopPackages,
+		simlint.DurabilityPackages,
 	} {
 		for _, p := range list {
 			if !seen[p] {
@@ -54,12 +55,12 @@ func TestScopedPackagesExist(t *testing.T) {
 	}
 }
 
-// TestAnalyzerRegistry asserts the suite stays complete: five
+// TestAnalyzerRegistry asserts the suite stays complete: six
 // analyzers, unique names, docs present.
 func TestAnalyzerRegistry(t *testing.T) {
 	all := simlint.All()
-	if len(all) != 5 {
-		t.Fatalf("expected 5 analyzers, got %d", len(all))
+	if len(all) != 6 {
+		t.Fatalf("expected 6 analyzers, got %d", len(all))
 	}
 	names := map[string]bool{}
 	for _, a := range all {

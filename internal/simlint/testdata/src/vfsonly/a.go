@@ -1,0 +1,74 @@
+// Package vfsonly seeds violations and counterexamples for the
+// vfsonly analyzer: durability code must reach the filesystem through
+// an injected FS interface, never os.* directly.
+package vfsonly
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// FS is a stand-in for the real vfs.FS boundary.
+type FS interface {
+	ReadFile(name string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm fs.FileMode) error
+}
+
+func writesDirectly(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil { // want `os\.MkdirAll in durability package`
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*") // want `os\.CreateTemp in durability package`
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	tmp.Close()
+	return os.Rename(tmp.Name(), path) // want `os\.Rename in durability package`
+}
+
+func readsDirectly(path string) ([]byte, error) {
+	if _, err := os.Stat(path); err != nil { // want `os\.Stat in durability package`
+		return nil, err
+	}
+	return os.ReadFile(path) // want `os\.ReadFile in durability package`
+}
+
+func cleansDirectly(path string) {
+	_ = os.Remove(path) // want `os\.Remove in durability package`
+}
+
+// throughFS is compliant: every operation flows through the injected
+// boundary, where the fault harness can see it.
+func throughFS(fsys FS, path string, repl string) ([]byte, error) {
+	if err := fsys.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	if err := fsys.Rename(repl, path); err != nil {
+		return nil, err
+	}
+	return fsys.ReadFile(path)
+}
+
+// errorPlumbing is compliant: error predicates and environment lookups
+// are not file I/O.
+func errorPlumbing(err error) (string, bool) {
+	if errors.Is(err, fs.ErrNotExist) {
+		return "", false
+	}
+	dir, derr := os.UserCacheDir()
+	return dir, derr == nil
+}
+
+// allowed is compliant: an annotated, justified escape hatch.
+func allowed(path string) {
+	//simlint:allow vfsonly best-effort cleanup outside the durability contract
+	_ = os.Remove(path)
+}

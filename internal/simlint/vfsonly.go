@@ -1,0 +1,55 @@
+package simlint
+
+import (
+	"go/ast"
+)
+
+// VFSOnly keeps the durability packages honest about their filesystem
+// boundary: every file operation must travel through an injected
+// vfs.FS, never os.* directly. The fault-injection harness and the
+// crash-consistency proofs only cover what flows through that
+// interface — a stray os.Rename in a journal would be a write the
+// torn-write and power-cut tests can never see. internal/vfs itself is
+// deliberately out of scope: its OS passthrough is the one sanctioned
+// home for the real calls.
+var VFSOnly = &Analyzer{
+	Name:     "vfsonly",
+	Doc:      "durability packages must reach the filesystem through vfs.FS, not os.* directly",
+	Packages: DurabilityPackages,
+	Run:      runVFSOnly,
+}
+
+// osFileOps are the os package functions that touch the filesystem.
+// Environment lookups (os.UserCacheDir, os.Getenv), process plumbing
+// (os.Stderr, os.Exit — nopanic's concern) and error predicates stay
+// allowed.
+var osFileOps = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "Rename": true, "Remove": true,
+	"RemoveAll": true, "Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"Stat": true, "Lstat": true, "ReadDir": true, "Chtimes": true,
+	"Truncate": true, "Chmod": true, "Chown": true, "Symlink": true,
+	"Link": true, "Readlink": true,
+}
+
+func runVFSOnly(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := usedFunc(pass.Info, call)
+			if fn == nil {
+				return true
+			}
+			if calleePath(fn) == "os" && osFileOps[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"os.%s in durability package %s bypasses the vfs fault-injection boundary; take a vfs.FS",
+					fn.Name(), pass.PkgPath)
+			}
+			return true
+		})
+	}
+	return nil
+}

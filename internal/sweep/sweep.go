@@ -28,14 +28,18 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"cachewrite/internal/cache"
 	"cachewrite/internal/resilience"
 	"cachewrite/internal/trace"
+	"cachewrite/internal/vfs"
 )
 
 // DefaultShard is the default number of configurations driven by one
@@ -214,6 +218,15 @@ const (
 	// JournalFallback: the checkpoint journal was corrupt or stale and
 	// was (partially) discarded.
 	JournalFallback
+	// JournalDegraded: a checkpoint snapshot or cleanup failed. The
+	// sweep continues — a checkpoint is an optimization, and losing one
+	// costs recomputation, never correctness — but the degradation is
+	// surfaced so operators see the disk misbehaving.
+	JournalDegraded
+	// UnitPoisoned: a unit exhausted its retry budget and was journaled
+	// as poisoned (Options.Quarantine); the sweep skips it now and on
+	// every resume instead of wedging the job on it forever.
+	UnitPoisoned
 )
 
 // Event is one structured scheduler observation, delivered through
@@ -268,18 +281,52 @@ type Options struct {
 	// OnEvent, when non-nil, receives structured progress events. It is
 	// called under the scheduler's collect lock — keep it fast.
 	OnEvent func(Event)
+	// FS is the filesystem the checkpoint journal writes through; nil
+	// means the real one. Fault-injection tests and the chaos harness
+	// pass a vfs.Faulty to prove sweeps survive storage failures.
+	FS vfs.FS
+	// Quarantine enables poison-unit handling: a unit that exhausts its
+	// retry budget is journaled as poisoned and skipped — now and on
+	// resume — instead of failing the sweep. The sweep then completes
+	// the remaining units and returns a *PoisonedError naming the
+	// skipped units, keeping the checkpoint journal so a resubmission
+	// does not re-grind the poison.
+	Quarantine bool
+}
+
+// PoisonedError reports units journaled as poisoned: every other unit
+// completed, but the named units exhausted their retry budget and their
+// results are missing.
+type PoisonedError struct {
+	// Units maps each poisoned unit's Key to the failure that poisoned
+	// it.
+	Units map[string]string
+}
+
+func (e *PoisonedError) Error() string {
+	keys := make([]string, 0, len(e.Units))
+	//simlint:allow determinism keys are sorted before use
+	for k := range e.Units {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return fmt.Sprintf("sweep: %d unit(s) poisoned after exhausting retries: %s",
+		len(keys), strings.Join(keys, ", "))
 }
 
 // journalVersion is the sweep checkpoint schema version; bump it when
 // journalState or cache.Stats changes shape.
-const journalVersion = 1
+const journalVersion = 2
 
 // journalState is the persisted progress of a sweep: the fingerprint
-// binding it to one exact (traces, configs, sharding) request, and the
-// completed units' results.
+// binding it to one exact (traces, configs, sharding) request, the
+// completed units' results, and the units quarantined as poisoned.
 type journalState struct {
 	Fingerprint string                   `json:"fingerprint"`
 	Done        map[string][]cache.Stats `json:"done"`
+	// Poisoned maps unit keys to the failure that exhausted their retry
+	// budget; resumed runs skip them instead of re-grinding.
+	Poisoned map[string]string `json:"poisoned,omitempty"`
 }
 
 // fingerprint binds a journal to the exact sweep that wrote it: trace
@@ -316,7 +363,11 @@ func RunUnits(ctx context.Context, units []Unit, opt Options, collect func(Unit,
 	var journal *resilience.Journal[journalState]
 	state := journalState{Done: map[string][]cache.Stats{}}
 	if opt.Checkpoint != "" {
-		journal = resilience.NewJournal[journalState](opt.Checkpoint, "sweep", journalVersion)
+		jfs := opt.FS
+		if jfs == nil {
+			jfs = vfs.OS{}
+		}
+		journal = resilience.NewJournalFS[journalState](jfs, opt.Checkpoint, "sweep", journalVersion)
 		fp := fingerprint(units)
 		prev, info, err := journal.Load()
 		if err != nil {
@@ -333,8 +384,17 @@ func RunUnits(ctx context.Context, units []Unit, opt Options, collect func(Unit,
 		}
 		state.Fingerprint = fp
 	}
+	if state.Poisoned == nil {
+		state.Poisoned = map[string]string{}
+	}
 	var pending []Unit
 	for _, u := range units {
+		if cause, bad := state.Poisoned[u.Key()]; bad && opt.Quarantine {
+			// Journaled poison: skip without re-attempting.
+			emit(Event{Kind: UnitPoisoned, Unit: u.Key(), Worker: -1,
+				Err: fmt.Errorf("poisoned by earlier run: %s", cause)})
+			continue
+		}
 		if stats, ok := state.Done[u.Key()]; ok && len(stats) == len(u.Cfgs) {
 			if collect != nil {
 				mu.Lock()
@@ -372,7 +432,6 @@ func RunUnits(ctx context.Context, units []Unit, opt Options, collect func(Unit,
 	var (
 		errOnce   sync.Once
 		firstErr  error
-		saveErr   error
 		sinceSnap int
 		wg        sync.WaitGroup
 	)
@@ -417,9 +476,29 @@ func RunUnits(ctx context.Context, units []Unit, opt Options, collect func(Unit,
 					})
 				watchdog.End(task)
 				if err != nil {
+					if opt.Quarantine && gctx.Err() == nil &&
+						!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+						// Retry budget exhausted: quarantine the unit instead
+						// of wedging the whole sweep on it. The poison is
+						// journaled immediately so a crash right after cannot
+						// re-grind the unit on resume.
+						var degraded error
+						mu.Lock()
+						state.Poisoned[key] = err.Error()
+						if journal != nil {
+							degraded = journal.Save(state)
+						}
+						mu.Unlock()
+						emit(Event{Kind: UnitPoisoned, Unit: key, Err: err, Worker: w})
+						if degraded != nil {
+							emit(Event{Kind: JournalDegraded, Unit: key, Err: degraded, Worker: w})
+						}
+						continue
+					}
 					fail(err)
 					return
 				}
+				var degraded error
 				mu.Lock()
 				if collect != nil {
 					collect(u, stats)
@@ -428,13 +507,17 @@ func RunUnits(ctx context.Context, units []Unit, opt Options, collect func(Unit,
 					state.Done[key] = stats
 					sinceSnap++
 					if sinceSnap >= ckEvery && len(state.Done) < len(units) {
-						if err := journal.Save(state); err != nil && saveErr == nil {
-							saveErr = err
-						}
+						// A failed snapshot degrades (the next one retries, a
+						// resume just recomputes more) — it never fails a
+						// sweep whose simulation work is succeeding.
+						degraded = journal.Save(state)
 						sinceSnap = 0
 					}
 				}
 				mu.Unlock()
+				if degraded != nil {
+					emit(Event{Kind: JournalDegraded, Unit: key, Err: degraded, Worker: w})
+				}
 				emit(Event{Kind: UnitDone, Unit: key, Worker: w})
 			}
 		}(w)
@@ -445,22 +528,38 @@ func RunUnits(ctx context.Context, units []Unit, opt Options, collect func(Unit,
 	if err == nil {
 		err = ctx.Err()
 	}
-	if err == nil {
-		err = saveErr
+	var poisonErr error
+	if len(state.Poisoned) > 0 {
+		poisonErr = &PoisonedError{Units: state.Poisoned}
 	}
 	if journal != nil {
 		if err != nil {
 			// Flush a final snapshot so the interrupted (or failed) run
-			// resumes from everything that did complete.
+			// resumes from everything that did complete. A failed flush
+			// degrades — it must not mask why the run stopped.
 			if serr := journal.Save(state); serr != nil {
-				return fmt.Errorf("sweep: interrupted and checkpoint flush failed: %w (run error: %w)", serr, err)
+				emit(Event{Kind: JournalDegraded, Err: serr, Worker: -1})
 			}
 			return err
 		}
+		if poisonErr != nil {
+			// Keep the journal: the poison set and the completed results
+			// must survive so a resubmission skips both.
+			if serr := journal.Save(state); serr != nil {
+				emit(Event{Kind: JournalDegraded, Err: serr, Worker: -1})
+			}
+			return poisonErr
+		}
 		if rerr := journal.Remove(); rerr != nil {
-			return fmt.Errorf("sweep: completed but checkpoint cleanup failed: %w", rerr)
+			// Cleanup failure costs a leftover file, not correctness: a
+			// rerun of the same sweep restores from it instantly, any
+			// other sweep reads it as stale and starts fresh.
+			emit(Event{Kind: JournalDegraded, Err: rerr, Worker: -1})
 		}
 		return nil
+	}
+	if err == nil {
+		err = poisonErr
 	}
 	return err
 }

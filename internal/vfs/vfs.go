@@ -1,0 +1,92 @@
+// Package vfs is the filesystem seam under every durability surface in
+// the repository: the resilience checkpoint journal, the workload trace
+// cache, and the simserved admission journal all open their files
+// through the FS interface instead of calling os.* directly (enforced
+// by simlint's vfsonly analyzer).
+//
+// Three implementations ship:
+//
+//   - OS: a passthrough to the real filesystem — what production runs
+//     use; it adds nothing and costs one indirect call.
+//   - Mem: an in-memory filesystem with an explicit durability model —
+//     metadata operations (create, rename, remove, mkdir) are durable
+//     immediately, file data survives a simulated crash only up to the
+//     last Sync. Crash() models power loss: everything written since
+//     the last Sync of each file is dropped.
+//   - Faulty: a deterministic, seeded fault injector wrapped around any
+//     inner FS. It can inject torn writes (short write, then an error),
+//     ENOSPC, EIO on reads, rename failures, and fsync lies (Sync
+//     reports success without making data durable), either
+//     probabilistically from a reproducible Plan or pinned to an exact
+//     operation index — the mechanism the crash-consistency harness
+//     uses to enumerate every write boundary of a journal commit.
+//
+// The paper's thesis is that the write path is where systems quietly
+// lose performance; "Writes Hurt" (PAPERS.md) extends it to modern
+// write-asymmetric storage, where torn and failed writes are the
+// common case. This package makes every one of those failure modes a
+// first-class, reproducible test input.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"time"
+)
+
+// File is the subset of *os.File the durability surfaces use. Files
+// opened for reading only return errors from Write and Sync.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Name returns the path the file was opened or created under.
+	Name() string
+	// Sync flushes the file's data to durable storage. On a Mem
+	// filesystem this is the promotion point: data written before Sync
+	// survives Crash, data written after does not.
+	Sync() error
+}
+
+// FS abstracts the filesystem operations of the durability surfaces.
+// Every method mirrors its os.* counterpart; error values wrap
+// io/fs sentinels (fs.ErrNotExist, fs.ErrPermission) so callers use
+// errors.Is, never equality or os-specific predicates.
+type FS interface {
+	// Open opens the named file for reading.
+	Open(name string) (File, error)
+	// CreateTemp creates a new unique file in dir, following
+	// os.CreateTemp's pattern rules, open for writing.
+	CreateTemp(dir, pattern string) (File, error)
+	// ReadFile reads the whole named file.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(path string, perm fs.FileMode) error
+	// Stat describes the named file.
+	Stat(name string) (fs.FileInfo, error)
+	// ReadDir lists the named directory in name order.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Chtimes sets the named file's access and modification times.
+	Chtimes(name string, atime, mtime time.Time) error
+}
+
+// OS is the production FS: a zero-cost passthrough to the os package.
+// The zero value is ready to use.
+type OS struct{}
+
+func (OS) Open(name string) (File, error)               { return os.Open(name) }
+func (OS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (OS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error                     { return os.Remove(name) }
+func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+func (OS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (OS) Chtimes(name string, atime, mtime time.Time) error {
+	return os.Chtimes(name, atime, mtime)
+}

@@ -11,10 +11,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"cachewrite/internal/trace"
+	"cachewrite/internal/vfs"
 )
 
 // GeneratorVersion identifies the trace-generation algorithm across
@@ -31,6 +33,82 @@ const GeneratorVersion = 1
 // degraded. Tests may swap it; the default writes to stderr.
 var Logf = func(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "workload: "+format+"\n", args...)
+}
+
+// FS is the filesystem the trace cache runs on. Production uses the
+// passthrough default; fault-injection tests and the chaos harness swap
+// in a vfs.Faulty to prove the cache degrades instead of failing. Like
+// Logf it is a package variable rather than a parameter so the dozens
+// of existing call sites stay unchanged.
+var FS vfs.FS = vfs.OS{}
+
+// CacheEventKind names a structured trace-cache incident.
+type CacheEventKind string
+
+const (
+	// EventStoreDegraded: a cache store failed (full disk, read-only
+	// cache, injected fault) and the run continued on the in-memory
+	// trace. The cache is now cold for that entry.
+	EventStoreDegraded CacheEventKind = "store_degraded"
+	// EventQuarantine: a corrupt entry was moved aside and regenerated.
+	EventQuarantine CacheEventKind = "quarantine"
+	// EventEvict: EnforceBudget removed entries to stay under budget.
+	EventEvict CacheEventKind = "evict"
+)
+
+// CacheEvent is one structured trace-cache incident. Cause is the
+// human classification ("disk full", …); Err the underlying error.
+type CacheEvent struct {
+	Kind  CacheEventKind
+	Dir   string
+	Name  string // workload name, when the event concerns one entry
+	Cause string
+	Err   error
+}
+
+// OnCacheEvent, when non-nil, receives every structured cache event in
+// addition to the Logf warning line. The serve layer hooks it to count
+// degradations per process and expose them in /statusz.
+var OnCacheEvent func(CacheEvent)
+
+func emitCacheEvent(e CacheEvent) {
+	switch e.Kind {
+	case EventStoreDegraded:
+		cacheStoreDegraded.Add(1)
+	case EventQuarantine:
+		cacheQuarantined.Add(1)
+	}
+	if OnCacheEvent != nil {
+		OnCacheEvent(e)
+	}
+}
+
+// CacheStats is a snapshot of the process-wide trace-cache counters.
+type CacheStats struct {
+	Hits          int64
+	Misses        int64
+	Quarantined   int64
+	StoreDegraded int64
+	Evicted       int64
+}
+
+var (
+	cacheHits          atomic.Int64
+	cacheMisses        atomic.Int64
+	cacheQuarantined   atomic.Int64
+	cacheStoreDegraded atomic.Int64
+	cacheEvicted       atomic.Int64
+)
+
+// CacheStatsSnapshot returns the current trace-cache counters.
+func CacheStatsSnapshot() CacheStats {
+	return CacheStats{
+		Hits:          cacheHits.Load(),
+		Misses:        cacheMisses.Load(),
+		Quarantined:   cacheQuarantined.Load(),
+		StoreDegraded: cacheStoreDegraded.Load(),
+		Evicted:       cacheEvicted.Load(),
+	}
 }
 
 // DefaultCacheDir returns the default on-disk trace cache location,
@@ -100,7 +178,7 @@ func sweepTempFiles(dir string) int {
 	if _, done := sweptDirs.LoadOrStore(dir, true); done {
 		return 0
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := FS.ReadDir(dir)
 	if err != nil {
 		return 0 // missing dir: nothing to sweep
 	}
@@ -113,7 +191,7 @@ func sweepTempFiles(dir string) int {
 		if err != nil || time.Since(info.ModTime()) < tmpMaxAge {
 			continue
 		}
-		if os.Remove(filepath.Join(dir, e.Name())) == nil {
+		if FS.Remove(filepath.Join(dir, e.Name())) == nil {
 			removed++
 		}
 	}
@@ -142,25 +220,30 @@ func GenerateCached(dir, name string, scale int) (*trace.Trace, error) {
 	path := CachePath(dir, name, scale)
 	t, lerr := loadCached(path, name)
 	if lerr == nil {
+		cacheHits.Add(1)
 		now := time.Now()
-		_ = os.Chtimes(path, now, now) // LRU bump; best effort
+		_ = FS.Chtimes(path, now, now) // LRU bump; best effort
 		return t, nil
 	}
+	cacheMisses.Add(1)
 	if !errors.Is(lerr, fs.ErrNotExist) {
 		// The entry exists but cannot be used: quarantine it for
 		// post-mortem so the next run does not trip over it again.
-		if qerr := os.Rename(path, path+quarantineSuffix); qerr != nil {
-			_ = os.Remove(path)
+		if qerr := FS.Rename(path, path+quarantineSuffix); qerr != nil {
+			_ = FS.Remove(path)
 		}
 		Logf("trace cache %s: quarantined corrupt entry and regenerating %s: %v", dir, name, lerr)
+		emitCacheEvent(CacheEvent{Kind: EventQuarantine, Dir: dir, Name: name, Cause: "corrupt entry", Err: lerr})
 	}
 	t, err := Generate(name, scale)
 	if err != nil {
 		return nil, err
 	}
 	if serr := storeCached(path, t); serr != nil {
+		cause := classifyStoreError(serr)
 		Logf("trace cache %s: cannot store %s (%s); continuing with in-memory trace: %v",
-			dir, name, classifyStoreError(serr), serr)
+			dir, name, cause, serr)
+		emitCacheEvent(CacheEvent{Kind: EventStoreDegraded, Dir: dir, Name: name, Cause: cause, Err: serr})
 	}
 	return t, nil
 }
@@ -201,9 +284,9 @@ func EnforceBudget(dir string, budget int64) (int, error) {
 	if dir == "" || budget <= 0 {
 		return 0, nil
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := FS.ReadDir(dir)
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, fs.ErrNotExist) {
 			return 0, nil
 		}
 		return 0, err
@@ -240,7 +323,7 @@ func EnforceBudget(dir string, budget int64) (int, error) {
 		if total <= budget {
 			break
 		}
-		if err := os.Remove(f.path); err != nil {
+		if err := FS.Remove(f.path); err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -250,8 +333,11 @@ func EnforceBudget(dir string, budget int64) (int, error) {
 		evicted++
 	}
 	if evicted > 0 {
+		cacheEvicted.Add(int64(evicted))
 		Logf("trace cache %s: evicted %d least-recently-used entries to stay under %d-byte budget",
 			dir, evicted, budget)
+		emitCacheEvent(CacheEvent{Kind: EventEvict, Dir: dir,
+			Cause: fmt.Sprintf("%d entries over %d-byte budget", evicted, budget)})
 	}
 	return evicted, firstErr
 }
@@ -259,7 +345,7 @@ func EnforceBudget(dir string, budget int64) (int, error) {
 // loadCached decodes a cached trace, rejecting files whose recorded
 // name does not match (hash collision or hand-copied file).
 func loadCached(path, name string) (*trace.Trace, error) {
-	f, err := os.Open(path)
+	f, err := FS.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -274,26 +360,32 @@ func loadCached(path, name string) (*trace.Trace, error) {
 	return t, nil
 }
 
-// storeCached writes the trace atomically (temp file + rename) so a
-// crashed or concurrent run never leaves a torn cache entry behind.
-// The deferred Remove also reaps the temp file on every error path; a
-// run killed outright leaves it to the next run's sweepTempFiles.
+// storeCached writes the trace atomically (temp file + sync + rename)
+// so a crashed or concurrent run never leaves a torn cache entry
+// behind — the sync before the rename closes the window where a rename
+// commits a name whose data never reached the disk. The deferred
+// Remove also reaps the temp file on every error path; a run killed
+// outright leaves it to the next run's sweepTempFiles.
 func storeCached(path string, t *trace.Trace) error {
 	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := FS.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	tmp, err := FS.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
+	defer FS.Remove(tmp.Name())
 	if err := trace.WriteBinary(tmp, t); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	return FS.Rename(tmp.Name(), path)
 }

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"cachewrite/internal/vfs"
+)
+
+// swapFS installs fsys as the package filesystem for one test.
+func swapFS(t *testing.T, fsys vfs.FS) {
+	t.Helper()
+	old := FS
+	FS = fsys
+	t.Cleanup(func() { FS = old })
+}
+
+// captureEvents records structured cache events for one test.
+func captureEvents(t *testing.T) *[]CacheEvent {
+	t.Helper()
+	var events []CacheEvent
+	old := OnCacheEvent
+	OnCacheEvent = func(e CacheEvent) { events = append(events, e) }
+	t.Cleanup(func() { OnCacheEvent = old })
+	return &events
+}
+
+// TestStoreDegradedUnderENOSPC proves the satellite fix: a full disk
+// during a cache store no longer just logs — it emits a structured
+// StoreDegraded event, bumps the counter, and the call still returns a
+// working in-memory trace.
+func TestStoreDegradedUnderENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	// Op 1 is storeCached's MkdirAll, op 2 its CreateTemp — fail that
+	// with ENOSPC. (Reads — the sweep's ReadDir, the lookup Open — are
+	// not counted operations.)
+	swapFS(t, vfs.NewFaulty(vfs.OS{}, vfs.Plan{FailAtOp: 2, FailKind: vfs.KindENOSPC}))
+	events := captureEvents(t)
+	before := CacheStatsSnapshot()
+
+	tr, err := GenerateCached(dir, "ccom", 1)
+	if err != nil {
+		t.Fatalf("a full cache disk must not fail generation: %v", err)
+	}
+	if tr == nil || tr.Name != "ccom" {
+		t.Fatalf("degraded call returned trace %+v", tr)
+	}
+
+	after := CacheStatsSnapshot()
+	if after.StoreDegraded != before.StoreDegraded+1 {
+		t.Fatalf("StoreDegraded counter %d -> %d, want +1", before.StoreDegraded, after.StoreDegraded)
+	}
+	if after.Misses != before.Misses+1 {
+		t.Fatalf("Misses counter %d -> %d, want +1", before.Misses, after.Misses)
+	}
+	var degraded *CacheEvent
+	for i := range *events {
+		if (*events)[i].Kind == EventStoreDegraded {
+			degraded = &(*events)[i]
+		}
+	}
+	if degraded == nil {
+		t.Fatalf("no StoreDegraded event emitted (events: %v)", *events)
+	}
+	if degraded.Name != "ccom" || degraded.Cause != "disk full" {
+		t.Fatalf("event = %+v, want name ccom cause \"disk full\"", *degraded)
+	}
+	if !errors.Is(degraded.Err, syscall.ENOSPC) || !vfs.IsStorageFault(degraded.Err) {
+		t.Fatalf("event error %v should classify as ENOSPC storage fault", degraded.Err)
+	}
+
+	// Nothing may be left in the cache dir: no entry, no temp litter.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("degraded store left files behind: %v", entries)
+	}
+
+	// With the disk healthy again the same call stores and then hits.
+	swapFS(t, vfs.OS{})
+	if _, err := GenerateCached(dir, "ccom", 1); err != nil {
+		t.Fatalf("store after recovery: %v", err)
+	}
+	preHit := CacheStatsSnapshot()
+	if _, err := GenerateCached(dir, "ccom", 1); err != nil {
+		t.Fatalf("hit after recovery: %v", err)
+	}
+	if got := CacheStatsSnapshot(); got.Hits != preHit.Hits+1 {
+		t.Fatalf("Hits counter %d -> %d, want +1 after recovery", preHit.Hits, got.Hits)
+	}
+}
+
+// TestQuarantineEmitsEvent: a corrupt cache entry is quarantined with a
+// structured event and counter, not just a log line.
+func TestQuarantineEmitsEvent(t *testing.T) {
+	dir := t.TempDir()
+	path := CachePath(dir, "ccom", 1)
+	if err := os.WriteFile(path, []byte("CWT1 but torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events := captureEvents(t)
+	before := CacheStatsSnapshot()
+
+	if _, err := GenerateCached(dir, "ccom", 1); err != nil {
+		t.Fatalf("corrupt entry must not fail generation: %v", err)
+	}
+	if got := CacheStatsSnapshot(); got.Quarantined != before.Quarantined+1 {
+		t.Fatalf("Quarantined counter %d -> %d, want +1", before.Quarantined, got.Quarantined)
+	}
+	found := false
+	for _, e := range *events {
+		if e.Kind == EventQuarantine && e.Name == "ccom" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no quarantine event (events: %v)", *events)
+	}
+	if _, err := os.Stat(path + quarantineSuffix); err != nil {
+		t.Fatalf("corrupt entry not moved aside: %v", err)
+	}
+}
+
+// TestEnforceBudgetEmitsEvictEvent covers the eviction counter/event.
+func TestEnforceBudgetEmitsEvictEvent(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"a.cwt", "b.cwt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), make([]byte, 1024), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events := captureEvents(t)
+	before := CacheStatsSnapshot()
+	evicted, err := EnforceBudget(dir, 1024)
+	if err != nil || evicted != 1 {
+		t.Fatalf("EnforceBudget = %d, %v; want 1 eviction", evicted, err)
+	}
+	if got := CacheStatsSnapshot(); got.Evicted != before.Evicted+1 {
+		t.Fatalf("Evicted counter %d -> %d, want +1", before.Evicted, got.Evicted)
+	}
+	if len(*events) != 1 || (*events)[0].Kind != EventEvict {
+		t.Fatalf("events = %v, want one evict event", *events)
+	}
+}
