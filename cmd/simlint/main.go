@@ -2,22 +2,29 @@
 // (internal/simlint) over Go packages and reports every engine
 // invariant violation: panics in engine packages, allocations on the
 // //simlint:hotpath closure, ==/!= sentinel comparisons, sources of
-// non-determinism in result-producing packages, and worker loops that
-// cannot observe cancellation.
+// non-determinism in result-producing packages, worker loops that
+// cannot observe cancellation, filesystem access outside the vfs seam,
+// blocking operations inside mutex critical sections, storage errors
+// that die unchecked, and stats counters with a missing bump or
+// publish side.
 //
 // Usage:
 //
-//	simlint [-C dir] [-analyzers a,b] [-list] [packages...]
+//	simlint [-C dir] [-analyzers a,b] [-list] [-json|-sarif] [packages...]
 //
-// With no package arguments it checks ./... . Exit status is 0 when
-// the tree is clean, 1 when diagnostics were reported, and 2 when the
-// analysis itself failed. `make lint` (and therefore `make check`)
-// runs it over the whole module.
+// With no package arguments it checks ./... . Output is the human
+// file:line:col format by default; -json emits a stable, sorted JSON
+// array and -sarif a SARIF 2.1.0 log for CI annotation. Exit status is
+// 0 when the tree is clean, 1 when diagnostics were reported, and 2
+// when the analysis itself failed. `make lint` (and therefore
+// `make check`) runs it over the whole module.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -35,7 +42,13 @@ func run(args []string, stdout, stderr *os.File) int {
 	dir := fs.String("C", ".", "change to `dir` before analyzing")
 	names := fs.String("analyzers", "", "comma-separated `subset` of analyzers to run (default all)")
 	list := fs.Bool("list", false, "list the available analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array (stable, sorted)")
+	asSARIF := fs.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log (stable, sorted)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *asJSON && *asSARIF {
+		fmt.Fprintln(stderr, "simlint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 
@@ -77,13 +90,25 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		if cwd != "" {
-			if rel, rerr := filepath.Rel(cwd, d.Pos.Filename); rerr == nil && !strings.HasPrefix(rel, "..") {
-				d.Pos.Filename = rel
-			}
+	for i := range diags {
+		diags[i].Pos.Filename = relPath(cwd, diags[i].Pos.Filename)
+		diags[i].End.Filename = relPath(cwd, diags[i].End.Filename)
+	}
+	switch {
+	case *asJSON:
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
-		fmt.Fprintln(stdout, d)
+	case *asSARIF:
+		if err := writeSARIF(stdout, analyzers, diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if n := len(diags); n > 0 {
 		fmt.Fprintf(stderr, "simlint: %d issue(s) in %d package(s) checked\n", n, len(mod.Packages))
@@ -91,4 +116,150 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	fmt.Fprintf(stderr, "simlint: clean (%d package(s), %d analyzer(s))\n", len(mod.Packages), len(analyzers))
 	return 0
+}
+
+// relPath rewrites filename relative to cwd when it lies inside it, so
+// machine-readable output carries repository-relative artifact paths.
+func relPath(cwd, filename string) string {
+	if cwd == "" || filename == "" {
+		return filename
+	}
+	rel, err := filepath.Rel(cwd, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filename
+	}
+	return filepath.ToSlash(rel)
+}
+
+// jsonDiag is the -json output shape, one element per diagnostic; the
+// slice is already position-sorted by the analysis driver, so the
+// output is byte-stable for identical input trees.
+type jsonDiag struct {
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Pos      jsonPos  `json:"pos"`
+	End      *jsonPos `json:"end,omitempty"`
+}
+
+type jsonPos struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+}
+
+func writeJSON(out io.Writer, diags []simlint.Diagnostic) error {
+	list := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		jd := jsonDiag{
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+			Pos:      jsonPos{File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column},
+		}
+		if d.End.Line != d.Pos.Line || d.End.Column != d.Pos.Column {
+			jd.End = &jsonPos{File: d.End.Filename, Line: d.End.Line, Column: d.End.Column}
+		}
+		list = append(list, jd)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(list)
+}
+
+// SARIF 2.1.0 minimal subset: one run, the analyzer registry as rules,
+// every diagnostic a warning-level result with a full start/end
+// region. GitHub's upload-sarif action renders these as PR
+// annotations.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+	EndLine     int `json:"endLine,omitempty"`
+	EndColumn   int `json:"endColumn,omitempty"`
+}
+
+func writeSARIF(out io.Writer, analyzers []*simlint.Analyzer, diags []simlint.Diagnostic) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		region := sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column}
+		if d.End.Line != 0 && (d.End.Line != d.Pos.Line || d.End.Column != d.Pos.Column) {
+			region.EndLine = d.End.Line
+			region.EndColumn = d.End.Column
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "warning",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: d.Pos.Filename, URIBaseID: "%SRCROOT%"},
+					Region:           region,
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "simlint", InformationURI: "docs/simlint.md", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
 }

@@ -152,7 +152,8 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, *Rejection, error) {
 	if j.RequestID != "" {
 		s.byRequest[requestKey(j.Tenant, j.RequestID)] = j
 	}
-	if err := s.persistLocked(); err != nil {
+	//simlint:allow lockheld durable-before-visible: the admission record must reach the journal under mu, before any contender can observe the job
+	if err := s.persistLocked(); err != nil { //simlint:allow errflow the rollback below sheds the request; persistLocked already logged the cause and the client only needs the rejection
 		// Admission must be durable before it is visible: roll the job
 		// back and shed the request rather than acknowledge state a
 		// crash would forget.

@@ -3,6 +3,7 @@ package serve
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -99,6 +100,85 @@ func TestBreakerShedsAfterStorageFaultJobs(t *testing.T) {
 		t.Fatalf("probe job state = %s (error %q), want done", st.State, st.Error)
 	}
 	mustSubmit(t, s, testSpec("tenant-a", ""))
+}
+
+// TestBreakerHalfOpenProbeRace hammers the breaker's half-open
+// transition from many goroutines at once (meaningful under -race):
+// after the cooldown expires, concurrent submits race to clear
+// openUntil, and none of them may be shed with a stale breaker
+// rejection. A storage-fault probe outcome then reopens the breaker
+// immediately for the next submit.
+func TestBreakerHalfOpenProbeRace(t *testing.T) {
+	clk := newFakeClock()
+	const cooldown = 30 * time.Second
+	s := newTestServer(t, func(c *Config) {
+		c.StateDir = "/state"
+		c.FS = vfs.NewMem()
+		c.Now = clk.Now
+		c.BreakerThreshold = 1
+		c.BreakerCooldown = cooldown
+	})
+
+	// One storage-fault job trips the breaker (threshold 1).
+	s.mu.Lock()
+	s.recordJobStorageOutcomeLocked("tenant-a", true)
+	s.mu.Unlock()
+	if _, rej, err := s.Submit(testSpec("tenant-a", "")); err != nil || rej == nil {
+		t.Fatalf("open breaker should shed: rej=%v err=%v", rej, err)
+	}
+
+	// Cooldown over: half-open. Race the probe slot with as many
+	// contenders as the per-tenant cap admits — every one must see the
+	// expired cooldown, none may observe a torn breaker state.
+	clk.Advance(cooldown + time.Second)
+	contenders := s.cfg.PerTenant
+	var admitted, shedBreaker, shedOther atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < contenders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, rej, err := s.Submit(testSpec("tenant-a", ""))
+			switch {
+			case err != nil:
+				t.Errorf("Submit: %v", err)
+			case rej == nil && st.ID != "":
+				admitted.Add(1)
+			case rej != nil && strings.Contains(rej.Reason, "circuit breaker"):
+				shedBreaker.Add(1)
+			default:
+				shedOther.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := shedBreaker.Load(); n != 0 {
+		t.Errorf("%d submit(s) shed by a breaker whose cooldown had expired", n)
+	}
+	if n := admitted.Load(); n != int64(contenders) {
+		t.Errorf("admitted = %d, want all %d half-open submits (other rejections: %d)",
+			n, contenders, shedOther.Load())
+	}
+
+	// The probe died on another storage fault: the breaker reopens at
+	// once, ahead of the queue and tenant caps in the submit path.
+	s.mu.Lock()
+	s.recordJobStorageOutcomeLocked("tenant-a", true)
+	s.mu.Unlock()
+	_, rej, err := s.Submit(testSpec("tenant-a", ""))
+	if err != nil || rej == nil || !strings.Contains(rej.Reason, "circuit breaker") {
+		t.Fatalf("storage-fault probe must reopen the breaker: rej=%+v err=%v", rej, err)
+	}
+
+	// A clean probe closes it: the tenant's submits flow again (here the
+	// tenant cap rejects, which proves the breaker no longer does).
+	s.mu.Lock()
+	s.recordJobStorageOutcomeLocked("tenant-a", false)
+	s.mu.Unlock()
+	_, rej, err = s.Submit(testSpec("tenant-a", ""))
+	if err != nil || rej == nil || strings.Contains(rej.Reason, "circuit breaker") {
+		t.Fatalf("clean probe must close the breaker: rej=%+v err=%v", rej, err)
+	}
 }
 
 // TestAckedJobSurvivesPowerCut is the serve half of the ack contract: a

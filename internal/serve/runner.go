@@ -61,7 +61,8 @@ wait:
 	wg.Wait()
 
 	s.mu.Lock()
-	_ = s.persistLocked()
+	//simlint:allow lockheld final drain flush: every worker has exited wg.Wait above, so no contender can stall on mu
+	_ = s.persistLocked() //simlint:allow errflow shutdown flush is best-effort; persistLocked logs the failure and unfinished jobs resume from the journal on restart
 	queued := 0
 	for _, j := range s.jobs {
 		if !j.State.Terminal() {
@@ -147,7 +148,8 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		s.mu.Lock()
 		j.Results = append(j.Results, *res)
 		j.UnitsDone = len(j.Results) * perWL
-		_ = s.persistLocked()
+		//simlint:allow lockheld results must persist atomically with the in-memory progress they record; a resumed job may not see results its journal lacks
+		_ = s.persistLocked() //simlint:allow errflow a failed progress checkpoint only costs recomputation on resume; persistLocked logs the cause
 		s.mu.Unlock()
 	}
 
@@ -185,7 +187,9 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	}
 	s.recordJobStorageOutcomeLocked(j.Tenant, storageFault)
 	s.observeJobLocked(s.now().Sub(start))
-	_ = s.persistLocked()
+	//simlint:allow lockheld the terminal state must persist atomically with the transition other goroutines will observe
+	_ = s.persistLocked() //simlint:allow errflow a failed terminal flush re-runs the job's tail on restart; persistLocked logs the cause
+	//simlint:allow lockheld checkpoint reaping under mu keeps it atomic with the terminal transition; the files are tiny and local
 	s.removeCkpts(j)
 }
 

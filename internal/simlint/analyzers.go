@@ -45,6 +45,26 @@ var DurabilityPackages = []string{
 	"internal/serve",
 }
 
+// LockedPackages coordinate goroutines with sync.Mutex/RWMutex and are
+// checked by lockheld: no blocking operation inside a critical section,
+// and one lock acquisition order per package.
+var LockedPackages = []string{
+	"internal/serve",
+	"internal/sweep",
+	"internal/workload",
+	"internal/resilience",
+}
+
+// StatsPackages publish counter structs (serve statusz metrics,
+// workload CacheStats, coherence traffic Stats) whose accounting must
+// be sound: every counter both bumped somewhere in the module and read
+// by an exported snapshot/Stats/statusz emitter.
+var StatsPackages = []string{
+	"internal/serve",
+	"internal/workload",
+	"internal/coherence",
+}
+
 // WorkerLoopPackages host long-running worker loops that must honor
 // the pulseStride cancellation contract: every iteration observes the
 // context (or an equivalent done channel) so cancellation lands
@@ -66,5 +86,8 @@ func All() []*Analyzer {
 		Determinism,
 		CtxLoop,
 		VFSOnly,
+		LockHeld,
+		ErrFlow,
+		StatSound,
 	}
 }

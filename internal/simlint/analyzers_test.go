@@ -33,3 +33,17 @@ func TestCtxLoop(t *testing.T) {
 func TestVFSOnly(t *testing.T) {
 	simlinttest.Run(t, simlint.VFSOnly, "vfsonly")
 }
+
+func TestLockHeld(t *testing.T) {
+	// vfs and blockdep are loaded first so the app package can import
+	// them; blockdep seeds the cross-package blocking fact.
+	simlinttest.Run(t, simlint.LockHeld, "vfs", "blockdep", "lockheld")
+}
+
+func TestErrFlow(t *testing.T) {
+	simlinttest.Run(t, simlint.ErrFlow, "vfs", "errflow")
+}
+
+func TestStatSound(t *testing.T) {
+	simlinttest.Run(t, simlint.StatSound, "statsound")
+}

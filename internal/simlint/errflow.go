@@ -1,0 +1,394 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrFlow audits storage-error handling in the durability packages:
+// every error produced by a vfs.FS/vfs.File operation — directly, or
+// through any module function that transitively performs vfs I/O and
+// returns an error — must be checked before the value dies, and a
+// branch that decides to swallow one must first classify it (via
+// vfs.IsStorageFault, errors.Is or errors.As) or wrap it with %w so
+// the cause survives. A silently dropped storage error is how a torn
+// write becomes "the journal was empty": the crash-consistency proofs
+// in the fault harness only hold when every error either propagates or
+// is classified as an injected fault.
+//
+// Two shapes are flagged:
+//
+//   - discards: `_ = op()`, `x, _ := op()`, or a bare `op()` expression
+//     statement whose error result is vfs-derived. Deferred calls are
+//     exempt (`defer f.Close()` is the sanctioned best-effort cleanup
+//     idiom), as are goroutine launches (their results are unusable by
+//     construction).
+//
+//   - swallows: an `if err != nil { ... }` branch that neither returns
+//     the error, wraps it with %w, stores or forwards it, nor
+//     classifies it — logging with %v does not count, because the
+//     typed cause is lost.
+var ErrFlow = &Analyzer{
+	Name:     "errflow",
+	Doc:      "vfs errors must be checked before they die; swallowing branches must classify (vfs.IsStorageFault) or wrap (%w)",
+	Packages: DurabilityPackages,
+	Run:      runErrFlow,
+}
+
+// errflowKey memoizes the set of module functions whose error results
+// are vfs-derived.
+const errflowKey = "errflow:vfserr"
+
+// vfsErrClosure computes the module functions that return an error and
+// perform vfs I/O — directly, or by synchronously calling another such
+// function. An error received from any of them is a storage error for
+// errflow's purposes.
+func vfsErrClosure(g *CallGraph) map[string]bool {
+	return g.Memo(errflowKey, func() map[string]bool {
+		out := map[string]bool{}
+		var queue []string
+		for key, fi := range g.Decls() {
+			if fi.Decl.Body == nil || !returnsError(fi.Obj) {
+				continue
+			}
+			direct := false
+			ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+				if direct {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if fn := usedFunc(fi.Pkg.Info, call); fn != nil && isVFSOp(fn) {
+						direct = true
+						return false
+					}
+				}
+				return true
+			})
+			if direct {
+				out[key] = true
+				queue = append(queue, key)
+			}
+		}
+		for len(queue) > 0 {
+			key := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for caller := range g.Callers(key) {
+				if out[caller] {
+					continue
+				}
+				fi := g.Decl(caller)
+				if fi == nil || !returnsError(fi.Obj) {
+					continue
+				}
+				out[caller] = true
+				queue = append(queue, caller)
+			}
+		}
+		return out
+	})
+}
+
+// returnsError reports whether any of fn's results satisfies error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if implementsError(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// vfsDerivedCall reports whether the call's error result originates in
+// vfs I/O: the callee is a vfs operation itself, or a module function
+// in the vfs-error closure. The callee's rendered name is returned for
+// diagnostics.
+func vfsDerivedCall(pass *Pass, vfsErr map[string]bool, call *ast.CallExpr) (string, bool) {
+	fn := usedFunc(pass.Info, call)
+	if fn == nil {
+		return "", false
+	}
+	if isVFSOp(fn) {
+		return "vfs." + fn.Name(), true
+	}
+	if vfsErr[FuncKey(fn)] {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+func runErrFlow(pass *Pass) error {
+	vfsErr := vfsErrClosure(pass.Graph)
+	for _, f := range pass.Files {
+		w := &errflowWalker{pass: pass, vfsErr: vfsErr}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				// defer f.Close() is the sanctioned best-effort idiom; the
+				// deferred call's result is structurally unusable.
+				return false
+			case *ast.GoStmt:
+				for _, arg := range n.Call.Args {
+					ast.Inspect(arg, func(c ast.Node) bool { w.visit(c); return true })
+				}
+				return false
+			default:
+				w.visit(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type errflowWalker struct {
+	pass   *Pass
+	vfsErr map[string]bool
+}
+
+func (w *errflowWalker) visit(n ast.Node) {
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		// Bare call statement: every result, error included, dies here.
+		if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+			if name, ok := vfsDerivedCall(w.pass, w.vfsErr, call); ok && callReturnsError(w.pass.Info, call) {
+				w.pass.ReportRangef(n, "error from %s discarded: check it before the value dies (classify storage faults with vfs.IsStorageFault or propagate with %%w)", name)
+			}
+		}
+	case *ast.AssignStmt:
+		w.checkBlankAssign(n)
+	case *ast.IfStmt:
+		// if err := op(); err != nil { ... } — init-statement form.
+		if init, ok := n.Init.(*ast.AssignStmt); ok {
+			w.checkSwallowIf(init, n)
+		}
+	case *ast.BlockStmt:
+		w.checkAdjacent(n.List)
+	case *ast.CaseClause:
+		w.checkAdjacent(n.Body)
+	case *ast.CommClause:
+		w.checkAdjacent(n.Body)
+	}
+}
+
+// checkAdjacent handles the two-statement canonical form
+//
+//	err := op()
+//	if err != nil { ... }
+//
+// within one statement list. Only the immediately-adjacent pairing is
+// checked — flows that separate the assignment from its test are out
+// of scope for a local analysis.
+func (w *errflowWalker) checkAdjacent(stmts []ast.Stmt) {
+	for i := 0; i+1 < len(stmts); i++ {
+		assign, ok := stmts[i].(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		ifStmt, ok := stmts[i+1].(*ast.IfStmt)
+		if !ok || ifStmt.Init != nil {
+			continue
+		}
+		w.checkSwallowIf(assign, ifStmt)
+	}
+}
+
+// checkBlankAssign flags `_ = op()` / `x, _ := op()` where the blanked
+// position is the vfs-derived error.
+func (w *errflowWalker) checkBlankAssign(n *ast.AssignStmt) {
+	if len(n.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, derived := vfsDerivedCall(w.pass, w.vfsErr, call)
+	if !derived {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if resultIsError(w.pass.Info, call, i, len(n.Lhs)) {
+			w.pass.ReportRangef(n, "error from %s discarded into _: check it before the value dies (classify storage faults with vfs.IsStorageFault or propagate with %%w)", name)
+			return
+		}
+	}
+}
+
+// checkSwallowIf analyzes `if err := op(); err != nil { body }` (and is
+// also invoked for the adjacent form with the paired assignment).
+func (w *errflowWalker) checkSwallowIf(assign *ast.AssignStmt, ifStmt *ast.IfStmt) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, derived := vfsDerivedCall(w.pass, w.vfsErr, call)
+	if !derived {
+		return
+	}
+	errObj := condErrObj(w.pass.Info, ifStmt.Cond)
+	if errObj == nil || !assignsObj(w.pass.Info, assign, errObj) {
+		return
+	}
+	if branchHandlesErr(w.pass, ifStmt.Body, errObj) {
+		return
+	}
+	w.pass.ReportRangef(ifStmt, "storage error from %s swallowed: branch neither propagates it, wraps it with %%w, nor classifies it via vfs.IsStorageFault/errors.Is", name)
+}
+
+// condErrObj matches `x != nil` and returns x's object.
+func condErrObj(info *types.Info, cond ast.Expr) types.Object {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		return nil
+	}
+	id, ok := ast.Unparen(bin.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if y, ok := info.Types[bin.Y]; !ok || !y.IsNil() {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil || !implementsError(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// assignsObj reports whether the assignment defines or assigns obj.
+func assignsObj(info *types.Info, assign *ast.AssignStmt, obj types.Object) bool {
+	for _, lhs := range assign.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if info.Defs[id] == obj || info.Uses[id] == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// branchHandlesErr reports whether the error escapes or is classified
+// inside the branch: any use of the variable outside a "bad" context —
+// a log-like call, or fmt.Errorf without %w — counts as handling
+// (return, store, send, wrap, errors.Join, vfs.IsStorageFault,
+// errors.Is/As all qualify structurally).
+func branchHandlesErr(pass *Pass, body *ast.BlockStmt, errObj types.Object) bool {
+	// First index the "bad" call ranges: uses inside them do not count.
+	type span struct{ from, to token.Pos }
+	var bad []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isBadWrap(pass.Info, call) || isLogLike(pass.Info, call) {
+			bad = append(bad, span{call.Pos(), call.End()})
+		}
+		return true
+	})
+	handled := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if handled {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != errObj {
+			return true
+		}
+		for _, s := range bad {
+			if id.Pos() >= s.from && id.Pos() < s.to {
+				return true
+			}
+		}
+		handled = true
+		return false
+	})
+	return handled
+}
+
+// isBadWrap matches fmt.Errorf calls whose format verb loses the typed
+// error: no %w in the (literal) format string.
+func isBadWrap(info *types.Info, call *ast.CallExpr) bool {
+	if !isPkgFunc(info, call, "fmt", "Errorf") || len(call.Args) == 0 {
+		return false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return false // non-literal format: give it the benefit of the doubt
+	}
+	return !strings.Contains(lit.Value, "%w")
+}
+
+// isLogLike matches calls that only report: the log package, testing
+// helpers, and anything named like logging.
+func isLogLike(info *types.Info, call *ast.CallExpr) bool {
+	fn := usedFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if calleePath(fn) == "log" {
+		return true
+	}
+	name := strings.ToLower(fn.Name())
+	for _, frag := range []string{"log", "print", "warn", "debug"} {
+		if strings.Contains(name, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// callReturnsError reports whether the call produces at least one
+// error value.
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if implementsError(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return implementsError(tv.Type)
+	}
+}
+
+// resultIsError reports whether result position i of the call (out of
+// n assigned positions) has error type.
+func resultIsError(info *types.Info, call *ast.CallExpr, i, n int) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		if i >= tuple.Len() {
+			return false
+		}
+		return implementsError(tuple.At(i).Type())
+	}
+	return n == 1 && i == 0 && implementsError(tv.Type)
+}

@@ -23,6 +23,11 @@ import (
 // package is checked) or belongs to a whitelisted allocation-free
 // package (math/bits). Calls through interfaces dispatch dynamically
 // and are accepted — annotate the concrete implementations instead.
+// Indirect calls through function values are resolved via the module
+// call graph's binding facts: when every store into the slot is a
+// statically known function (the kernel-dispatch pattern), each bound
+// callee is held to the same closure rule; only slots with an
+// unresolvable store remain dynamic.
 var Hotpath = &Analyzer{
 	Name:    hotpathName,
 	Doc:     "functions marked //simlint:hotpath (and their static callees) may not allocate",
@@ -229,9 +234,41 @@ func (w *hotpathWalker) call(call *ast.CallExpr) {
 		return
 	}
 
-	// Indirect call through a function value: arguments can still box.
+	// Indirect call through a function value. The call graph's binding
+	// facts resolve the kernel-dispatch pattern — a function variable or
+	// struct field only ever assigned statically known functions — so
+	// each possible callee is held to the closure rule instead of being
+	// skipped. A slot with an unresolvable store stays dynamic and only
+	// the arguments are checked.
 	if sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature); ok {
+		if w.pass.Graph != nil {
+			if bound, ok := pass.Graph.Bindings(pass.Package, ast.Unparen(call.Fun)); ok {
+				for _, fn := range bound {
+					w.boundCallee(call, fn)
+				}
+			}
+		}
 		w.callArgs(call, sig)
+	}
+}
+
+// boundCallee applies the static-closure rule to one function resolved
+// through a function-value slot.
+func (w *hotpathWalker) boundCallee(call *ast.CallExpr, fn *types.Func) {
+	pass := w.pass
+	switch path := calleePath(fn); {
+	case path == "fmt":
+		pass.Reportf(call.Pos(), "fmt.%s reached through a function value in hot path (reached from %s) allocates", fn.Name(), w.root)
+	case path == pass.PkgPath || path == pass.Types.Path():
+		if decl, ok := w.decls[fn]; ok {
+			w.check(decl, w.root)
+		}
+	case hotpathSafePackages[path]:
+		// whitelisted allocation-free package
+	case pass.Facts.Has(hotpathName, fn.FullName()):
+		// bound callee carries its own //simlint:hotpath mark
+	default:
+		pass.Reportf(call.Pos(), "hot path (reached from %s) dispatches to %s through a function value; it is outside the package and not marked //simlint:hotpath", w.root, fn.FullName())
 	}
 }
 

@@ -1,0 +1,575 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockHeld keeps critical sections honest in the concurrent packages:
+// while a sync.Mutex or sync.RWMutex is held, no blocking operation
+// may run — a channel send or receive, a select without a default, a
+// WaitGroup/Cond Wait, time.Sleep, a vfs.FS/vfs.File operation, or a
+// call to any function that transitively performs one of those (per
+// the module-wide call graph). A blocking operation inside a critical
+// section turns one slow disk or one unready channel into a stall of
+// every goroutine contending for that lock — the service-layer twin of
+// the paper's write-stall argument (a bounded buffer must not hold the
+// pipeline while it drains).
+//
+// The analyzer also checks lock acquisition order: when a function
+// acquires lock B while holding lock A, the pair (A, B) becomes the
+// package's ordering; another function acquiring A while holding B is
+// an inversion (the classic AB/BA deadlock), and re-acquiring a held
+// mutex is reported as a self-deadlock. Locks are identified by their
+// declaration (the struct field or package variable), so every
+// instance of Server.mu is one lock class.
+//
+// Known intentional violations (e.g. a journal flush that must stay
+// atomic with the state it snapshots) carry a
+// //simlint:allow lockheld <reason> directive at the call site.
+var LockHeld = &Analyzer{
+	Name:     "lockheld",
+	Doc:      "no blocking operation while a sync.Mutex/RWMutex is held; lock order must be consistent",
+	Packages: LockedPackages,
+	Run:      runLockHeld,
+}
+
+// lockBlockingKey memoizes the transitively-blocking function closure
+// on the run's call graph.
+const lockBlockingKey = "lockheld:blocking"
+
+// isVFSPath reports whether a package path is the vfs filesystem seam
+// (the real internal/vfs, or the harness's testdata stand-in).
+func isVFSPath(path string) bool {
+	return path == "vfs" || strings.HasSuffix(path, "/vfs")
+}
+
+// isVFSOp reports whether fn is a method of the vfs package — an FS or
+// File operation (or a concrete implementation's method), i.e. file
+// I/O that can block on a disk.
+func isVFSOp(fn *types.Func) bool {
+	if fn == nil || !isVFSPath(calleePath(fn)) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// isStdBlocking reports well-known blocking calls from outside the
+// module: WaitGroup/Cond Wait and time.Sleep.
+func isStdBlocking(fn *types.Func) (string, bool) {
+	if fn == nil {
+		return "", false
+	}
+	switch calleePath(fn) {
+	case "sync":
+		if fn.Name() == "Wait" {
+			return fn.FullName(), true
+		}
+	case "time":
+		if fn.Name() == "Sleep" && func() bool {
+			sig, ok := fn.Type().(*types.Signature)
+			return ok && sig.Recv() == nil
+		}() {
+			return "time.Sleep", true
+		}
+	}
+	return "", false
+}
+
+// blockingClosure returns the set of module functions that perform a
+// blocking operation directly or through any chain of synchronous
+// calls.
+func blockingClosure(g *CallGraph) map[string]bool {
+	return g.Reaching(lockBlockingKey, func() map[string]bool {
+		seeds := map[string]bool{}
+		for key, fi := range g.Decls() {
+			if fi.Decl.Body == nil {
+				continue
+			}
+			if directlyBlocks(fi.Pkg.Info, fi.Decl.Body) {
+				seeds[key] = true
+			}
+		}
+		return seeds
+	}())
+}
+
+// directlyBlocks reports whether a function body contains a blocking
+// operation outside goroutine launches.
+func directlyBlocks(info *types.Info, body ast.Node) bool {
+	found := false
+	scanBlockingOps(info, body, func(ast.Node, string) { found = true })
+	return found
+}
+
+// scanBlockingOps walks a body and calls hit for every blocking
+// operation: channel sends and receives, ranges over channels, selects
+// without a default, Wait/Sleep calls and vfs I/O. Goroutine bodies
+// are skipped (they block their own goroutine, not the caller); the
+// communication clauses of a select *with* a default are skipped (the
+// default makes the select non-blocking).
+func scanBlockingOps(info *types.Info, root ast.Node, hit func(n ast.Node, what string)) {
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				walk(arg)
+			}
+			return
+		case *ast.SendStmt:
+			hit(n, "channel send")
+			walk(n.Value)
+			return
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				hit(n, "channel receive")
+			}
+			walk(n.X)
+			return
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					hit(n, "range over channel")
+				}
+			}
+			walk(n.X)
+			walk(n.Body)
+			return
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				hit(n, "select without default")
+			}
+			for _, clause := range n.Body.List {
+				cc, ok := clause.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				// The comm operations themselves are covered by the select
+				// verdict; only the clause bodies are walked.
+				for _, s := range cc.Body {
+					walk(s)
+				}
+			}
+			return
+		case *ast.CallExpr:
+			if fn := usedFunc(info, n); fn != nil {
+				if what, ok := isStdBlocking(fn); ok {
+					hit(n, what)
+				} else if isVFSOp(fn) {
+					hit(n, "vfs I/O ("+fn.Name()+")")
+				}
+			}
+			walk(n.Fun)
+			for _, a := range n.Args {
+				walk(a)
+			}
+			return
+		}
+		// Generic descent.
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			switch c.(type) {
+			case *ast.GoStmt, *ast.SendStmt, *ast.UnaryExpr, *ast.RangeStmt,
+				*ast.SelectStmt, *ast.CallExpr:
+				walk(c)
+				return false
+			}
+			return true
+		})
+	}
+	walk(root)
+}
+
+// heldLock is one acquired mutex in the current critical section.
+type heldLock struct {
+	obj  types.Object
+	name string
+}
+
+// orderEdge records one "acquired b while holding a" site.
+type orderEdge struct {
+	node ast.Node
+	from types.Object
+	to   types.Object
+}
+
+func runLockHeld(pass *Pass) error {
+	w := &lockWalker{
+		pass:     pass,
+		blocking: blockingClosure(pass.Graph),
+		names:    map[types.Object]string{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			w.walkRegion(fn.Body)
+		}
+	}
+	w.reportOrder()
+	return nil
+}
+
+type lockWalker struct {
+	pass     *Pass
+	blocking map[string]bool
+	names    map[types.Object]string
+	edges    []orderEdge
+	regions  []*ast.BlockStmt // function-literal bodies pending their own walk
+}
+
+// walkRegion analyzes one function (or function-literal) body with an
+// empty held set, then drains any literals discovered inside it.
+func (w *lockWalker) walkRegion(body *ast.BlockStmt) {
+	w.walkStmts(body.List, nil)
+	for len(w.regions) > 0 {
+		next := w.regions[0]
+		w.regions = w.regions[1:]
+		w.walkStmts(next.List, nil)
+	}
+}
+
+// walkStmts tracks the held-lock set through a statement list. Nested
+// blocks see a copy of the current set: an unlock inside a branch
+// frees the lock for the rest of that branch, while the outer walk
+// keeps it held (the conservative direction for the code that follows
+// the branch).
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held []heldLock) []heldLock {
+	for _, stmt := range stmts {
+		held = w.walkStmt(stmt, held)
+	}
+	return held
+}
+
+func (w *lockWalker) walkStmt(stmt ast.Stmt, held []heldLock) []heldLock {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if obj, name, op, ok := lockCall(w.pass, s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				for _, h := range held {
+					w.edges = append(w.edges, orderEdge{node: s.X, from: h.obj, to: obj})
+				}
+				w.names[obj] = name
+				held = append(held[:len(held):len(held)], heldLock{obj: obj, name: name})
+			case "Unlock", "RUnlock":
+				held = releaseLock(held, obj)
+			}
+			return held
+		}
+		w.scan(s.X, held)
+	case *ast.DeferStmt:
+		if obj, _, op, ok := lockCall(w.pass, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			// Deferred unlock: held until function exit — which is the
+			// whole remainder of this walk. Nothing to do.
+			_ = obj
+			return held
+		}
+		w.scan(s.Call, held)
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			w.scan(arg, held)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.regions = append(w.regions, lit.Body)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		w.scan(s.Cond, held)
+		w.walkStmts(s.Body.List, held)
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			w.walkStmts(e.List, held)
+		case *ast.IfStmt:
+			w.walkStmt(e, held)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		w.scan(s.Cond, held)
+		if s.Post != nil {
+			w.walkStmt(s.Post, held)
+		}
+		w.walkStmts(s.Body.List, held)
+	case *ast.RangeStmt:
+		if held != nil {
+			if t := w.pass.Info.TypeOf(s.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					w.report(s, "range over channel", held)
+				}
+			}
+		}
+		w.scan(s.X, held)
+		w.walkStmts(s.Body.List, held)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		w.scan(s.Tag, held)
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, held)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, held)
+			}
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 {
+			hasDefault := false
+			for _, clause := range s.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				w.report(s, "select without default", held)
+			}
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body, held)
+			}
+		}
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+	default:
+		w.scan(stmt, held)
+	}
+	return held
+}
+
+// scan inspects an expression or simple statement for blocking
+// operations under the current held set, queueing function literals
+// for their own lock-free walk.
+func (w *lockWalker) scan(n ast.Node, held []heldLock) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			w.regions = append(w.regions, c.Body)
+			return false
+		case *ast.GoStmt:
+			for _, arg := range c.Call.Args {
+				w.scan(arg, held)
+			}
+			return false
+		}
+		if len(held) == 0 {
+			return true
+		}
+		switch c := c.(type) {
+		case *ast.SendStmt:
+			w.report(c, "channel send", held)
+		case *ast.UnaryExpr:
+			if c.Op == token.ARROW {
+				w.report(c, "channel receive", held)
+			}
+		case *ast.CallExpr:
+			fn := usedFunc(w.pass.Info, c)
+			if fn == nil {
+				return true
+			}
+			if what, ok := isStdBlocking(fn); ok {
+				w.report(c, what, held)
+				return true
+			}
+			if isVFSOp(fn) {
+				w.report(c, "vfs I/O via "+fn.Name(), held)
+				return true
+			}
+			if isLockMethod(fn) {
+				return true // nested locking is the order check's concern
+			}
+			if w.blocking[FuncKey(fn)] {
+				w.report(c, "call to "+FuncKey(fn)+", which transitively blocks", held)
+			}
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) report(n ast.Node, what string, held []heldLock) {
+	names := make([]string, len(held))
+	for i, h := range held {
+		names[i] = h.name
+	}
+	w.pass.ReportRangef(n, "%s while %s is held: a blocked critical section stalls every contender", what, strings.Join(names, ", "))
+}
+
+// reportOrder flags self-deadlocks and AB/BA inversions accumulated
+// over the package.
+func (w *lockWalker) reportOrder() {
+	type pair struct{ from, to types.Object }
+	first := map[pair]orderEdge{}
+	for _, e := range w.edges {
+		if e.from == e.to {
+			w.pass.ReportRangef(e.node, "%s re-acquired while already held: guaranteed self-deadlock", w.names[e.to])
+			continue
+		}
+		p := pair{e.from, e.to}
+		if prev, ok := first[p]; !ok || w.pass.Fset.Position(e.node.Pos()).Offset < w.pass.Fset.Position(prev.node.Pos()).Offset {
+			first[p] = e
+		}
+	}
+	// Deterministic pair order for reporting.
+	pairs := make([]pair, 0, len(first))
+	for p := range first {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		a, b := first[pairs[i]], first[pairs[j]]
+		return w.pass.Fset.Position(a.node.Pos()).Offset < w.pass.Fset.Position(b.node.Pos()).Offset
+	})
+	seen := map[pair]bool{}
+	for _, p := range pairs {
+		inv := pair{p.to, p.from}
+		other, ok := first[inv]
+		if !ok || seen[p] || seen[inv] {
+			continue
+		}
+		seen[p], seen[inv] = true, true
+		// Report at the later-appearing direction: the first-seen order
+		// is treated as the package's convention.
+		e := first[p]
+		conv := other
+		if w.pass.Fset.Position(e.node.Pos()).Offset < w.pass.Fset.Position(other.node.Pos()).Offset {
+			e, conv = other, e
+		}
+		cp := w.pass.Fset.Position(conv.node.Pos())
+		w.pass.ReportRangef(e.node,
+			"lock order inverted: %s acquired while %s is held, but %s:%d acquires them in the opposite order — pick one order package-wide",
+			w.names[e.to], w.names[e.from], cp.Filename, cp.Line)
+	}
+}
+
+// isLockMethod reports sync mutex methods.
+func isLockMethod(fn *types.Func) bool {
+	if fn == nil || calleePath(fn) != "sync" {
+		return false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+		return true
+	}
+	return false
+}
+
+// lockCall matches `x.Lock()` / `x.Unlock()` (and RW variants) on a
+// sync.Mutex or sync.RWMutex and resolves the lock's identity: the
+// declared field or variable, with a human name.
+func lockCall(pass *Pass, expr ast.Expr) (obj types.Object, name, op string, ok bool) {
+	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
+	if !isCall {
+		return nil, "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, "", "", false
+	}
+	fn, _ := pass.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || calleePath(fn) != "sync" {
+		return nil, "", "", false
+	}
+	obj, name = lockIdent(pass, sel.X)
+	if obj == nil {
+		return nil, "", "", false
+	}
+	return obj, name, sel.Sel.Name, true
+}
+
+// lockIdent resolves the mutex expression to its declared object and a
+// display name ("Server.mu" for fields, the variable name otherwise).
+func lockIdent(pass *Pass, expr ast.Expr) (types.Object, string) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj := pass.Info.Uses[e]
+		if obj == nil {
+			return nil, ""
+		}
+		if !isMutexType(obj.Type()) {
+			return nil, ""
+		}
+		return obj, e.Name
+	case *ast.SelectorExpr:
+		sel, ok := pass.Info.Selections[e]
+		if ok {
+			obj := sel.Obj()
+			if obj == nil || !isMutexType(obj.Type()) {
+				return nil, ""
+			}
+			name := obj.Name()
+			if named := namedOf(sel.Recv()); named != nil {
+				name = named.Obj().Name() + "." + name
+			}
+			return obj, name
+		}
+		// Qualified package-level mutex: pkg.Mu.
+		if obj := pass.Info.Uses[e.Sel]; obj != nil && isMutexType(obj.Type()) {
+			return obj, e.Sel.Name
+		}
+	}
+	return nil, ""
+}
+
+// isMutexType reports sync.Mutex / sync.RWMutex (possibly behind a
+// pointer).
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch t.String() {
+	case "sync.Mutex", "sync.RWMutex":
+		return true
+	}
+	return false
+}
+
+// releaseLock removes the most recent acquisition of obj.
+func releaseLock(held []heldLock, obj types.Object) []heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].obj == obj {
+			out := make([]heldLock, 0, len(held)-1)
+			out = append(out, held[:i]...)
+			out = append(out, held[i+1:]...)
+			return out
+		}
+	}
+	return held
+}

@@ -21,6 +21,8 @@ func TestScopedPackagesExist(t *testing.T) {
 		simlint.DeterministicPackages,
 		simlint.WorkerLoopPackages,
 		simlint.DurabilityPackages,
+		simlint.LockedPackages,
+		simlint.StatsPackages,
 	} {
 		for _, p := range list {
 			if !seen[p] {
@@ -55,12 +57,12 @@ func TestScopedPackagesExist(t *testing.T) {
 	}
 }
 
-// TestAnalyzerRegistry asserts the suite stays complete: six
+// TestAnalyzerRegistry asserts the suite stays complete: nine
 // analyzers, unique names, docs present.
 func TestAnalyzerRegistry(t *testing.T) {
 	all := simlint.All()
-	if len(all) != 6 {
-		t.Fatalf("expected 6 analyzers, got %d", len(all))
+	if len(all) != 9 {
+		t.Fatalf("expected 9 analyzers, got %d", len(all))
 	}
 	names := map[string]bool{}
 	for _, a := range all {

@@ -46,8 +46,13 @@ const (
 
 // Diagnostic is one analyzer finding.
 type Diagnostic struct {
-	// Pos locates the finding.
+	// Pos locates the start of the finding.
 	Pos token.Position
+	// End locates the end of the flagged expression (same file as Pos).
+	// For point diagnostics End equals Pos; editors and the SARIF
+	// output use the pair to underline the full expression rather than
+	// a single column.
+	End token.Position
 	// Analyzer names the reporting analyzer.
 	Analyzer string
 	// Message describes the violation and how to resolve it.
@@ -185,19 +190,37 @@ type Pass struct {
 	Analyzer *Analyzer
 	// Facts is shared by every pass of the run.
 	Facts *Facts
+	// Graph is the module-wide call-graph fact layer, built once over
+	// every loaded package before any collect or run phase.
+	Graph *CallGraph
 
 	diags *[]Diagnostic
 }
 
-// Reportf records a diagnostic at pos unless an allow directive
+// Reportf records a point diagnostic at pos unless an allow directive
 // suppresses it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, pos, format, args...)
+}
+
+// ReportRangef records a diagnostic spanning node's full extent, so
+// editors and SARIF underline the whole flagged expression.
+func (p *Pass) ReportRangef(node ast.Node, format string, args ...any) {
+	p.report(node.Pos(), node.End(), format, args...)
+}
+
+func (p *Pass) report(pos, end token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if p.suppressed(p.Analyzer.Name, position) {
 		return
 	}
+	endPosition := position
+	if end.IsValid() && end != pos {
+		endPosition = p.Fset.Position(end)
+	}
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      position,
+		End:      endPosition,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -249,12 +272,13 @@ func RunAnalyzers(mod *Module, analyzers []*Analyzer) ([]Diagnostic, error) {
 func runAnalyzers(modulePath string, pkgs []*Package, analyzers []*Analyzer, scoped bool) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	facts := NewFacts()
+	graph := BuildCallGraph(pkgs)
 	for _, a := range analyzers {
 		if a.Collect == nil {
 			continue
 		}
 		for _, pkg := range pkgs {
-			pass := &Pass{Package: pkg, Analyzer: a, Facts: facts, diags: &diags}
+			pass := &Pass{Package: pkg, Analyzer: a, Facts: facts, Graph: graph, diags: &diags}
 			if err := a.Collect(pass); err != nil {
 				return nil, fmt.Errorf("simlint: %s: collect %s: %w", a.Name, pkg.PkgPath, err)
 			}
@@ -265,7 +289,7 @@ func runAnalyzers(modulePath string, pkgs []*Package, analyzers []*Analyzer, sco
 			if scoped && !a.AppliesTo(modulePath, pkg.PkgPath) {
 				continue
 			}
-			pass := &Pass{Package: pkg, Analyzer: a, Facts: facts, diags: &diags}
+			pass := &Pass{Package: pkg, Analyzer: a, Facts: facts, Graph: graph, diags: &diags}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("simlint: %s: %s: %w", a.Name, pkg.PkgPath, err)
 			}

@@ -1,0 +1,348 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// StatSound is the static analogue of the paper's traffic-accounting
+// exactness: a counter that exists but is never incremented reports a
+// traffic class as zero forever, and a counter that is incremented but
+// never exported is accounting nobody can audit. For every counter
+// candidate in the stats packages — an integer or atomic field of a
+// struct whose name contains "Stats" or "Metrics", or a package-level
+// atomic variable — the analyzer requires both sides of the contract:
+//
+//   - bumped: some function in the module writes it (++, +=, =, an
+//     atomic Add/Store/Swap, or a keyed composite-literal entry), and
+//   - published: some function reachable from an exported emitter (a
+//     function whose name contains Stats, Snapshot, Metrics, Status,
+//     Health or Report) reads it — individually, through an atomic
+//     Load, or by copying/returning the whole struct.
+//
+// Reachability uses the module call graph, so a helper that gathers
+// fields for MetricsSnapshot publishes them even though the helper
+// itself is unexported.
+var StatSound = &Analyzer{
+	Name:     "statsound",
+	Doc:      "every stats counter must be both incremented somewhere and read by an exported snapshot/Stats/statusz emitter",
+	Packages: StatsPackages,
+	Run:      runStatSound,
+}
+
+const statsoundKey = "statsound:facts"
+
+// statStructName reports struct type names that hold accounting.
+func statStructName(name string) bool {
+	return strings.Contains(name, "Stats") || strings.Contains(name, "Metrics")
+}
+
+// emitterName reports exported-function names that publish accounting.
+func emitterName(name string) bool {
+	for _, frag := range []string{"Stats", "Snapshot", "Metrics", "Status", "Health", "Report"} {
+		if strings.Contains(name, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// isAtomicCounter reports sync/atomic integer wrapper types.
+func isAtomicCounter(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch obj.Name() {
+	case "Int32", "Int64", "Uint32", "Uint64":
+		return true
+	}
+	return false
+}
+
+// isCounterType reports types a counter field may have: plain integers
+// (but not time.Duration and friends from outside the module) or the
+// atomic wrappers.
+func isCounterType(t types.Type) bool {
+	if isAtomicCounter(t) {
+		return true
+	}
+	if named := namedOf(t); named != nil {
+		if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "time" {
+			return false
+		}
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// statFacts computes, once per run, the module-wide write ("w:<slot>")
+// and publish ("p:<slot>" / whole-struct "P:<pkg>.<Type>") facts for
+// every counter-shaped slot. Publish facts are only recorded inside
+// functions reachable from an exported emitter.
+func statFacts(g *CallGraph) map[string]bool {
+	return g.Memo(statsoundKey, func() map[string]bool {
+		seeds := map[string]bool{}
+		for key, fi := range g.Decls() {
+			if fi.Obj.Exported() && emitterName(fi.Obj.Name()) {
+				seeds[key] = true
+			}
+		}
+		emit := g.ReachableFrom("statsound:emitters", seeds)
+		out := map[string]bool{}
+		for key, fi := range g.Decls() {
+			if fi.Decl.Body == nil {
+				continue
+			}
+			collectStatFacts(fi.Pkg, fi.Decl.Body, emit[key], out)
+		}
+		return out
+	})
+}
+
+// collectStatFacts walks one function body. inEmit marks bodies inside
+// the emitter closure, where reads count as publication.
+func collectStatFacts(pkg *Package, body ast.Node, inEmit bool, out map[string]bool) {
+	// LHS and atomic-write receivers must not double as reads.
+	written := map[ast.Expr]bool{}
+	wholeRead := func(expr ast.Expr) {
+		if !inEmit {
+			return
+		}
+		e := ast.Unparen(expr)
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			e = ast.Unparen(u.X)
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			return
+		}
+		t := pkg.Info.TypeOf(e)
+		if t == nil {
+			return
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named := namedOf(t); named != nil && statStructName(named.Obj().Name()) {
+			out["P:"+typeKeyOf(named)] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			if k, ok := statKey(pkg, n.X); ok {
+				out["w:"+k] = true
+			}
+			written[n.X] = true
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if k, ok := statKey(pkg, lhs); ok {
+					out["w:"+k] = true
+				}
+				written[lhs] = true
+			}
+			for _, rhs := range n.Rhs {
+				wholeRead(rhs)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				wholeRead(r)
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Add", "Store", "Swap", "CompareAndSwap":
+					if t := pkg.Info.TypeOf(sel.X); t != nil && isAtomicCounter(t) {
+						if k, ok := statKey(pkg, sel.X); ok {
+							out["w:"+k] = true
+						}
+						written[sel.X] = true
+					}
+				}
+			}
+			for _, a := range n.Args {
+				wholeRead(a)
+			}
+		case *ast.CompositeLit:
+			tv, ok := pkg.Info.Types[n]
+			if !ok {
+				return true
+			}
+			named := namedOf(tv.Type)
+			if named == nil || !statStructName(named.Obj().Name()) {
+				return true
+			}
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				fk := fieldKey(named, key.Name)
+				// A keyed entry writes the snapshot field; inside the
+				// emitter closure it also publishes it (the value flows out
+				// with the snapshot).
+				out["w:"+fk] = true
+				if inEmit {
+					out["p:"+fk] = true
+				}
+				written[kv.Key] = true
+				wholeRead(kv.Value)
+			}
+		case *ast.SelectorExpr:
+			if written[n] {
+				return true
+			}
+			if inEmit {
+				if k, ok := statKey(pkg, n); ok {
+					out["p:"+k] = true
+				}
+			}
+		case *ast.Ident:
+			if written[n] || !inEmit {
+				return true
+			}
+			if k, ok := statIdentKey(pkg, n); ok {
+				out["p:"+k] = true
+			}
+		}
+		return true
+	})
+}
+
+// statKey names a counter slot: struct fields as
+// "<pkg>.<Type>.<field>" (instance-insensitive), package-level vars as
+// "<pkg>.<name>".
+func statKey(pkg *Package, expr ast.Expr) (string, bool) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return statIdentKey(pkg, e)
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[e]; ok {
+			v, ok := sel.Obj().(*types.Var)
+			if !ok || !v.IsField() {
+				return "", false
+			}
+			if named := namedOf(sel.Recv()); named != nil {
+				return fieldKey(named, v.Name()), true
+			}
+			return "", false
+		}
+		// Qualified package-level var (pkg.Counter).
+		if v, ok := pkg.Info.Uses[e.Sel].(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name(), true
+		}
+	}
+	return "", false
+}
+
+func statIdentKey(pkg *Package, e *ast.Ident) (string, bool) {
+	obj := pkg.Info.Uses[e]
+	if obj == nil {
+		obj = pkg.Info.Defs[e]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	return v.Pkg().Path() + "." + v.Name(), true
+}
+
+// typeKeyOf names a struct type for whole-struct publish facts.
+func typeKeyOf(named *types.Named) string {
+	obj := named.Obj()
+	path := ""
+	if obj.Pkg() != nil {
+		path = obj.Pkg().Path()
+	}
+	return path + "." + obj.Name()
+}
+
+func runStatSound(pass *Pass) error {
+	facts := statFacts(pass.Graph)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.TYPE:
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !statStructName(ts.Name.Name) {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					named, ok := tn.Type().(*types.Named)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						for _, name := range field.Names {
+							v, ok := pass.Info.Defs[name].(*types.Var)
+							if !ok || !isCounterType(v.Type()) {
+								continue
+							}
+							reportStat(pass, name, facts,
+								fieldKey(named, name.Name), "P:"+typeKeyOf(named),
+								ts.Name.Name+"."+name.Name)
+						}
+					}
+				}
+			case token.VAR:
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						v, ok := pass.Info.Defs[name].(*types.Var)
+						if !ok || !isAtomicCounter(v.Type()) {
+							continue
+						}
+						if v.Parent() != pass.Types.Scope() {
+							continue
+						}
+						reportStat(pass, name, facts,
+							v.Pkg().Path()+"."+v.Name(), "", name.Name)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// reportStat checks one counter candidate against the module facts and
+// reports the missing side(s) of the accounting contract.
+func reportStat(pass *Pass, at ast.Node, facts map[string]bool, slot, wholeKey, display string) {
+	bumped := facts["w:"+slot]
+	published := facts["p:"+slot] || (wholeKey != "" && facts[wholeKey])
+	switch {
+	case !bumped && !published:
+		pass.ReportRangef(at, "counter %s is never incremented and never read by an exported stats emitter: dead accounting", display)
+	case !bumped:
+		pass.ReportRangef(at, "counter %s is read by a stats emitter but never incremented anywhere in the module: it always reports zero", display)
+	case !published:
+		pass.ReportRangef(at, "counter %s is incremented but never read by an exported snapshot/Stats/statusz emitter: the accounting is unobservable", display)
+	}
+}

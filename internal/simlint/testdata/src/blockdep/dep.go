@@ -1,0 +1,15 @@
+// Package blockdep is the cross-package dependency for the lockheld
+// analyzer tests: one function blocks, so callers in other packages
+// inherit the blocking fact through the module call graph; one does
+// not.
+package blockdep
+
+// WaitForSignal blocks on a channel receive.
+func WaitForSignal(ch chan struct{}) {
+	<-ch
+}
+
+// Quick is pure arithmetic and never blocks.
+func Quick(x int) int {
+	return x + 1
+}

@@ -1,0 +1,105 @@
+// Package errflow seeds violations and counterexamples for the
+// errflow analyzer: storage errors must be checked before they die,
+// and branches that swallow one must classify or wrap it first.
+package errflow
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"vfs"
+)
+
+// store mirrors the durability packages' shape: filesystem access only
+// through an injected vfs.FS.
+type store struct {
+	fs vfs.FS
+}
+
+// discards blanks a vfs error outright.
+func (s *store) discards() {
+	_ = s.fs.Remove("x") // want `error from vfs\.Remove discarded`
+}
+
+// bareCall drops every result of a vfs.File operation on the floor.
+func bareCall(f vfs.File) {
+	f.Sync() // want `error from vfs\.Sync discarded`
+}
+
+// blankTuple keeps the data but blanks the error.
+func (s *store) blankTuple() int {
+	data, _ := s.fs.ReadFile("x") // want `error from vfs\.ReadFile discarded into _`
+	return len(data)
+}
+
+// swallowsAdjacent checks the error but the branch only logs %v: the
+// typed cause is lost without classification.
+func (s *store) swallowsAdjacent() {
+	err := s.fs.Rename("a", "b")
+	if err != nil { // want `storage error from vfs\.Rename swallowed`
+		log.Printf("rename failed: %v", err)
+	}
+}
+
+// swallowsInit drops the error without touching it at all.
+func (s *store) swallowsInit() int {
+	if err := s.fs.Remove("x"); err != nil { // want `storage error from vfs\.Remove swallowed`
+		return 0
+	}
+	return 1
+}
+
+// losesType wraps with %v, which erases the fault type the
+// crash-consistency harness needs to classify.
+func (s *store) losesType() error {
+	err := s.fs.Remove("x")
+	if err != nil { // want `storage error from vfs\.Remove swallowed`
+		return fmt.Errorf("remove: %v", err)
+	}
+	return nil
+}
+
+// save propagates vfs errors, so its callers inherit the vfs-derived
+// fact through the call graph.
+func (s *store) save(p string, b []byte) error {
+	return s.fs.WriteFile(p, b)
+}
+
+// dropsHelper discards a transitively vfs-derived error.
+func (s *store) dropsHelper() {
+	_ = s.save("x", nil) // want `error from save discarded`
+}
+
+// propagates wraps with %w: the cause survives.
+func (s *store) propagates() error {
+	if err := s.fs.Remove("x"); err != nil {
+		return fmt.Errorf("remove: %w", err)
+	}
+	return nil
+}
+
+// classifies consults vfs.IsStorageFault before deciding to swallow.
+func (s *store) classifies() {
+	if err := s.fs.Remove("x"); err != nil {
+		if vfs.IsStorageFault(err) {
+			log.Printf("injected fault: %v", err)
+		}
+	}
+}
+
+// joins stores the error for aggregation: it escapes the branch.
+func (s *store) joins() error {
+	var errs []error
+	if err := s.fs.Remove("a"); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// deferredClose is the sanctioned best-effort cleanup idiom.
+func deferredClose(f vfs.File) error {
+	defer f.Close()
+	_, err := f.Write(nil)
+	return err
+}

@@ -1,0 +1,60 @@
+// Kernel-dispatch cases: indirect calls through function values are
+// resolved via the call graph's binding facts instead of being
+// skipped, so a hot loop that dispatches through a kernel table is
+// still held to the zero-allocation contract.
+package hotpath
+
+import "hotpathdep"
+
+// kern is only ever bound to a clean same-package kernel: the binding
+// resolves and the callee passes.
+var kern = fastKern
+
+func fastKern(x int) int { return x*2 + 1 }
+
+//simlint:hotpath
+func DispatchClean(x int) int { return kern(x) }
+
+// heapSlot is bound to an allocating kernel: the binding is followed
+// into the kernel's body, where the allocation reports.
+var heapSlot = heapKern
+
+func heapKern(x int) int {
+	buf := make([]int, x) // want `make in hot path \(reached from DispatchHeap\) allocates`
+	return len(buf)
+}
+
+//simlint:hotpath
+func DispatchHeap(x int) int { return heapSlot(x) }
+
+// kernelTable is the struct-field dispatch shape: composite-literal
+// bindings key by the literal's type, so `dispatch.op(x)` resolves to
+// tableKern.
+type kernelTable struct {
+	op func(int) int
+}
+
+var dispatch = kernelTable{op: tableKern}
+
+func tableKern(x int) int { return x + 3 }
+
+//simlint:hotpath
+func DispatchTable(x int) int { return dispatch.op(x) }
+
+// depSlot is bound to an unmarked function in another package: the
+// resolved callee is outside the closure.
+var depSlot = hotpathdep.Scale
+
+//simlint:hotpath
+func DispatchDep(x uint64) uint64 {
+	return depSlot(x) // want `dispatches to hotpathdep\.Scale through a function value; it is outside the package and not marked`
+}
+
+// dynSlot receives a caller-supplied function: the slot is tainted and
+// the call stays dynamic (accepted).
+var dynSlot func(int) int
+
+func installKern(f func(int) int) { dynSlot = f }
+
+//simlint:hotpath
+func DispatchDyn(x int) int { return dynSlot(x) }

@@ -19,3 +19,10 @@ func (c *Counter) Bump(delta uint64) {
 func Snapshot(c *Counter) uint64 {
 	return c.n
 }
+
+// Scale is not marked hot either: binding it into another package's
+// kernel slot and dispatching from a hot path is a violation at the
+// dispatch site.
+func Scale(x uint64) uint64 {
+	return x << 1
+}

@@ -1,0 +1,172 @@
+// Package lockheld seeds violations and counterexamples for the
+// lockheld analyzer: no blocking operation inside a mutex critical
+// section, and one lock acquisition order per package.
+package lockheld
+
+import (
+	"sync"
+
+	"blockdep"
+	"vfs"
+)
+
+// server mirrors the real serve.Server shape: a mutex guarding state,
+// a wake channel, and an injected filesystem.
+type server struct {
+	mu    sync.Mutex
+	state int
+	fs    vfs.FS
+	wake  chan struct{}
+}
+
+// sendsWhileLocked blocks on a channel send inside the critical
+// section: if the receiver is not ready, every other contender stalls.
+func (s *server) sendsWhileLocked() {
+	s.mu.Lock()
+	s.state++
+	s.wake <- struct{}{} // want `channel send while server\.mu is held`
+	s.mu.Unlock()
+}
+
+// receivesUnderDefer holds the lock to function end via defer, so the
+// receive at the bottom is still inside the critical section.
+func (s *server) receivesUnderDefer() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.wake // want `channel receive while server\.mu is held`
+	return s.state
+}
+
+// selectsWhileLocked parks in a select with no default while holding
+// the lock.
+func (s *server) selectsWhileLocked(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without default while server\.mu is held`
+	case <-done:
+	case <-s.wake:
+	}
+}
+
+// persistsWhileLocked does file I/O inside the critical section: one
+// slow disk write stalls every goroutine contending for mu.
+func (s *server) persistsWhileLocked(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fs.WriteFile("state", data) // want `vfs I/O via WriteFile while server\.mu is held`
+}
+
+// waitsTransitively calls a helper whose body blocks; the module call
+// graph propagates the fact to the call site.
+func (s *server) waitsTransitively() {
+	s.mu.Lock()
+	s.drain() // want `call to .*drain, which transitively blocks while server\.mu is held`
+	s.mu.Unlock()
+}
+
+// drain consumes wakeups until the channel closes: it blocks.
+func (s *server) drain() {
+	for range s.wake {
+	}
+}
+
+// waitsCrossPackage inherits the blocking fact from another package
+// through the call graph.
+func (s *server) waitsCrossPackage(ch chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blockdep.WaitForSignal(ch) // want `call to blockdep\.WaitForSignal, which transitively blocks while server\.mu is held`
+}
+
+// waitsOnGroup parks on a WaitGroup inside the critical section.
+func (s *server) waitsOnGroup(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `\(\*sync\.WaitGroup\)\.Wait while server\.mu is held`
+}
+
+// relocks re-acquires the mutex it already holds.
+func (s *server) relocks() {
+	s.mu.Lock()
+	s.mu.Lock() // want `server\.mu re-acquired while already held: guaranteed self-deadlock`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// pair carries two locks whose acquisition order must be consistent.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// lockAB establishes the package's a-then-b convention.
+func (p *pair) lockAB() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// lockBA inverts the order lockAB established: the classic AB/BA
+// deadlock.
+func (p *pair) lockBA() {
+	p.b.Lock()
+	p.a.Lock() // want `lock order inverted: pair\.a acquired while pair\.b is held`
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// unlocksBeforeBlocking releases the lock before touching channels —
+// the compliant pattern.
+func (s *server) unlocksBeforeBlocking() {
+	s.mu.Lock()
+	v := s.state
+	s.mu.Unlock()
+	s.wake <- struct{}{}
+	_ = v
+}
+
+// nonBlockingWake signals through a defaulted select, which cannot
+// park, so holding the lock is fine.
+func (s *server) nonBlockingWake() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state++
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// spawnsWorker launches a goroutine that blocks: the worker runs on
+// its own stack with no lock held, so nothing is flagged.
+func (s *server) spawnsWorker() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		<-s.wake
+	}()
+}
+
+// branchReleases unlocks inside the early branch before blocking
+// there; the analyzer tracks the release through the branch.
+func (s *server) branchReleases(fast bool) {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+		<-s.wake
+		return
+	}
+	s.state++
+	s.mu.Unlock()
+}
+
+// consistentOrder matches lockAB's a-then-b order: no inversion.
+func (p *pair) consistentOrder() int {
+	p.a.Lock()
+	p.b.Lock()
+	x := blockdep.Quick(1)
+	p.b.Unlock()
+	p.a.Unlock()
+	return x
+}

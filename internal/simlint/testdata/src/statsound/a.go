@@ -1,0 +1,133 @@
+// Package statsound seeds violations and counterexamples for the
+// statsound analyzer: every counter must be both incremented somewhere
+// in the module and read by an exported stats emitter.
+package statsound
+
+import "sync/atomic"
+
+// Stats is published whole by Snapshot and every field is bumped:
+// fully compliant.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+type tracker struct {
+	stats Stats
+}
+
+func (t *tracker) record(hit bool) {
+	if hit {
+		t.stats.Hits++
+	} else {
+		t.stats.Misses++
+	}
+}
+
+// Snapshot publishes the whole struct by value.
+func (t *tracker) Snapshot() Stats {
+	return t.stats
+}
+
+// DropMetrics is bumped but no exported emitter ever reads it: the
+// accounting exists but nobody can observe it.
+type DropMetrics struct {
+	Drops  uint64 // want `counter DropMetrics\.Drops is incremented but never read by an exported snapshot/Stats/statusz emitter`
+	Spills uint64 // want `counter DropMetrics\.Spills is incremented but never read by an exported snapshot/Stats/statusz emitter`
+}
+
+type dropper struct {
+	m DropMetrics
+}
+
+func (d *dropper) drop() {
+	d.m.Drops++
+	d.m.Spills++
+}
+
+// internalTally reads the counters, but it is not an emitter and is
+// not reachable from one, so the read does not count as publication.
+func (d *dropper) internalTally() uint64 {
+	return d.m.Drops + d.m.Spills
+}
+
+// GaugeMetrics is read by an emitter but nothing ever writes it: it
+// always reports zero.
+type GaugeMetrics struct {
+	Backlog int64 // want `counter GaugeMetrics\.Backlog is read by a stats emitter but never incremented`
+}
+
+type gauge struct {
+	g GaugeMetrics
+}
+
+// MetricsReport is an exported emitter reading the gauge.
+func (g *gauge) MetricsReport() int64 {
+	return g.g.Backlog
+}
+
+// DeadStats is neither bumped nor published.
+type DeadStats struct {
+	Unused uint64 // want `counter DeadStats\.Unused is never incremented and never read by an exported stats emitter`
+}
+
+// Package-level atomic counters, the workload tracecache pattern.
+var (
+	published atomic.Uint64
+	silent    atomic.Uint64 // want `counter silent is incremented but never read by an exported snapshot/Stats/statusz emitter`
+)
+
+func touch() {
+	published.Add(1)
+	silent.Add(1)
+}
+
+// VarStats publishes the package-level counter.
+func VarStats() uint64 {
+	return published.Load()
+}
+
+// CacheStats is the snapshot-mirror pattern: fields are filled from
+// the live atomics inside the emitter and flow out with the snapshot.
+type CacheStats struct {
+	Gets uint64
+	Puts uint64
+}
+
+var (
+	gets atomic.Uint64
+	puts atomic.Uint64
+)
+
+func bump() {
+	gets.Add(1)
+	puts.Add(1)
+}
+
+// CacheStatsSnapshot builds the published mirror from the atomics.
+func CacheStatsSnapshot() CacheStats {
+	return CacheStats{Gets: gets.Load(), Puts: puts.Load()}
+}
+
+// HelperMetrics is read through an unexported helper reachable from an
+// exported emitter: such reads count as publication.
+type HelperMetrics struct {
+	Deep uint64
+}
+
+type nested struct {
+	h HelperMetrics
+}
+
+func (n *nested) bumpDeep() {
+	n.h.Deep++
+}
+
+func (n *nested) gather() uint64 {
+	return n.h.Deep
+}
+
+// StatusReport reaches the read through an unexported helper.
+func (n *nested) StatusReport() uint64 {
+	return n.gather()
+}

@@ -1,0 +1,25 @@
+// Package vfs is the testdata stand-in for the module's filesystem
+// seam. Its package path ends in "vfs", so the lockheld and errflow
+// analyzers treat its interface methods as storage I/O, exactly like
+// the real internal/vfs.
+package vfs
+
+// FS is the filesystem boundary.
+type FS interface {
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// File is one open file.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// IsStorageFault classifies an error as an injected storage fault.
+func IsStorageFault(err error) bool {
+	return err != nil
+}

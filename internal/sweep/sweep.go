@@ -486,6 +486,7 @@ func RunUnits(ctx context.Context, units []Unit, opt Options, collect func(Unit,
 						mu.Lock()
 						state.Poisoned[key] = err.Error()
 						if journal != nil {
+							//simlint:allow lockheld the poison entry must be journaled from an atomic snapshot of state; contenders only add units, they never block on this save
 							degraded = journal.Save(state)
 						}
 						mu.Unlock()
@@ -510,6 +511,7 @@ func RunUnits(ctx context.Context, units []Unit, opt Options, collect func(Unit,
 						// A failed snapshot degrades (the next one retries, a
 						// resume just recomputes more) — it never fails a
 						// sweep whose simulation work is succeeding.
+						//simlint:allow lockheld the checkpoint must serialize an atomic snapshot of state; snapshots are paced by ckEvery so contention is bounded
 						degraded = journal.Save(state)
 						sinceSnap = 0
 					}

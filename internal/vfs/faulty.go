@@ -110,13 +110,23 @@ type Plan struct {
 func ParsePlan(spec string) (Plan, error) {
 	var p Plan
 	if strings.TrimSpace(spec) == "" {
-		return p, nil
+		// An empty plan injects nothing; a caller that wants no faults
+		// should not construct a Faulty at all. Refusing here catches
+		// flag plumbing that silently dropped the spec.
+		return p, fmt.Errorf("vfs: empty fault plan (want key=value fields: seed, rate, kinds)")
 	}
+	seen := map[string]bool{}
 	for _, field := range strings.Split(spec, ",") {
 		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
 		if !ok {
 			return p, fmt.Errorf("vfs: plan field %q is not key=value", field)
 		}
+		if seen[key] {
+			// A duplicate key means one of the two values is ignored
+			// silently — always a typo in the spec, never intent.
+			return p, fmt.Errorf("vfs: duplicate plan field %q", key)
+		}
+		seen[key] = true
 		switch key {
 		case "seed":
 			n, err := strconv.ParseInt(val, 10, 64)

@@ -156,13 +156,22 @@ func TestParsePlan(t *testing.T) {
 	if p.Seed != 7 || p.Rate != 0.25 || p.Kinds != KindTornWrite|KindENOSPC|KindRenameFail {
 		t.Fatalf("plan = %+v", p)
 	}
-	if p, err := ParsePlan(""); err != nil || p != (Plan{}) {
-		t.Fatalf("empty spec: %+v, %v", p, err)
-	}
 	if p, err := ParsePlan("kinds=all"); err != nil || p.Kinds != AllKinds {
 		t.Fatalf("all kinds: %+v, %v", p, err)
 	}
-	for _, bad := range []string{"rate=2", "kinds=frob", "nope=1", "seed"} {
+	for _, bad := range []string{
+		"rate=2",          // rate above [0,1]
+		"rate=-0.1",       // rate below [0,1]
+		"rate=x",          // rate not a number
+		"kinds=frob",      // unknown fault kind
+		"nope=1",          // unknown field
+		"seed",            // not key=value
+		"",                // empty plan
+		"   ",             // blank plan
+		"seed=1,seed=2",   // duplicate key: second value would win silently
+		"rate=0.1,rate=1", // duplicate key
+		"kinds=torn,kinds=eio",
+	} {
 		if _, err := ParsePlan(bad); err == nil {
 			t.Errorf("ParsePlan(%q) accepted", bad)
 		}
